@@ -1,0 +1,315 @@
+(* Benchmark harness: one Bechamel test per paper table and figure (the
+   pipeline that regenerates it, at a reduced scale so the whole suite runs
+   in seconds), plus ablation benches for the design choices called out in
+   DESIGN.md (gamma sizing, scheduler, metric, spatial index) and
+   micro-benches for the hot substrate paths.
+
+     dune exec bench/main.exe
+
+   Reported figure: estimated wall time per single pipeline execution. *)
+
+open Bechamel
+open Toolkit
+module Rng = Ss_prng.Rng
+module Graph = Ss_topology.Graph
+module Builders = Ss_topology.Builders
+module Cluster = Ss_cluster
+module E = Ss_experiments
+
+let stage = Staged.stage
+
+(* Shared fixtures, built once: benchmarks measure the pipelines, not the
+   fixture construction, except where construction is the point. *)
+let fixture_rng () = Rng.create ~seed:97
+
+let small_poisson =
+  lazy
+    (let rng = fixture_rng () in
+     let graph = Builders.random_geometric rng ~intensity:250.0 ~radius:0.1 in
+     let ids = Cluster.Algorithm.shuffled_ids rng graph in
+     (graph, ids))
+
+let small_grid =
+  lazy
+    (let graph = Builders.geometric_grid ~cols:16 ~rows:16 ~radius:0.1 in
+     let ids = Array.init (Graph.node_count graph) Fun.id in
+     (graph, ids))
+
+let positions_500 =
+  lazy
+    (let rng = fixture_rng () in
+     Ss_geom.Point_process.uniform rng ~count:500 ~box:Ss_geom.Bbox.unit_square)
+
+(* ------------------------------------------------------------------ *)
+(* Per-table pipelines.                                                *)
+
+let table1 =
+  Test.make ~name:"table1/worked-example"
+    (stage (fun () -> ignore (E.Exp_example.run ())))
+
+let table2 =
+  Test.make ~name:"table2/knowledge-schedule"
+    (stage (fun () ->
+         ignore
+           (E.Exp_schedule.run ~seed:3 ~runs:1
+              ~spec:(E.Scenario.poisson ~intensity:120.0 ~radius:0.12 ())
+              ())))
+
+let table3 =
+  Test.make ~name:"table3/dag-steps"
+    (stage (fun () ->
+         let graph, ids = Lazy.force small_grid in
+         let rng = fixture_rng () in
+         ignore
+           (Cluster.Dag_id.build_spec rng graph ~ids
+              ~gamma_spec:Cluster.Gamma.delta_sq)))
+
+let table4 =
+  Test.make ~name:"table4/random-features"
+    (stage (fun () ->
+         let graph, ids = Lazy.force small_poisson in
+         let rng = fixture_rng () in
+         let outcome =
+           Cluster.Algorithm.run rng Cluster.Config.with_dag graph ~ids
+         in
+         ignore
+           (Cluster.Metrics.summarize graph outcome.Cluster.Algorithm.assignment)))
+
+let table5 =
+  Test.make ~name:"table5/grid-features"
+    (stage (fun () ->
+         let graph, ids = Lazy.force small_grid in
+         let rng = fixture_rng () in
+         let no_dag =
+           Cluster.Algorithm.run rng Cluster.Config.basic graph ~ids
+         in
+         let dag = Cluster.Algorithm.run rng Cluster.Config.with_dag graph ~ids in
+         ignore
+           (Cluster.Metrics.summarize graph no_dag.Cluster.Algorithm.assignment);
+         ignore
+           (Cluster.Metrics.summarize graph dag.Cluster.Algorithm.assignment)))
+
+let fig2 =
+  Test.make ~name:"fig2/grid-no-dag-render"
+    (stage (fun () ->
+         let graph, ids = Lazy.force small_grid in
+         let rng = fixture_rng () in
+         let outcome = Cluster.Algorithm.run rng Cluster.Config.basic graph ~ids in
+         ignore (Ss_viz.Svg.render_exn graph outcome.Cluster.Algorithm.assignment)))
+
+let fig3 =
+  Test.make ~name:"fig3/grid-dag-render"
+    (stage (fun () ->
+         let graph, ids = Lazy.force small_grid in
+         let rng = fixture_rng () in
+         let outcome =
+           Cluster.Algorithm.run rng Cluster.Config.with_dag graph ~ids
+         in
+         ignore (Ss_viz.Svg.render_exn graph outcome.Cluster.Algorithm.assignment)))
+
+let mobility =
+  Test.make ~name:"mobility/retention-epoch"
+    (stage (fun () ->
+         let rng = fixture_rng () in
+         ignore
+           (E.Exp_mobility.run_once rng
+              ~params:
+                {
+                  E.Exp_mobility.default_params with
+                  E.Exp_mobility.count = 150;
+                  horizon = 20.0;
+                }
+              ~model:Ss_mobility.Model.vehicular
+              ~config:Cluster.Config.improved)))
+
+module Bench_protocol = Cluster.Distributed.Make (struct
+  let params = Cluster.Distributed.default_params
+end)
+
+module Bench_engine = Ss_engine.Engine.Make (Bench_protocol)
+
+let selfstab =
+  Test.make ~name:"selfstab/corrupt-recover"
+    (stage (fun () ->
+         let rng = fixture_rng () in
+         let graph =
+           Builders.random_geometric rng ~intensity:120.0 ~radius:0.12
+         in
+         let first = Bench_engine.run ~quiet_rounds:5 rng graph in
+         let n = Graph.node_count graph in
+         for p = 0 to (n / 2) - 1 do
+           first.Bench_engine.states.(p) <-
+             Cluster.Distributed.corrupt rng p first.Bench_engine.states.(p)
+         done;
+         ignore
+           (Bench_engine.run ~states:first.Bench_engine.states ~quiet_rounds:5
+              rng graph)))
+
+(* ------------------------------------------------------------------ *)
+(* Ablations.                                                          *)
+
+let ablation_gamma =
+  let build spec name =
+    Test.make ~name:("ablation/gamma-" ^ name)
+      (stage (fun () ->
+           let graph, ids = Lazy.force small_grid in
+           let rng = fixture_rng () in
+           ignore (Cluster.Dag_id.build_spec rng graph ~ids ~gamma_spec:spec)))
+  in
+  [
+    build Cluster.Gamma.delta "delta";
+    build Cluster.Gamma.delta_sq "delta^2";
+    build (Cluster.Gamma.delta_pow 3) "delta^3";
+  ]
+
+let ablation_scheduler =
+  let build scheduler name =
+    Test.make ~name:("ablation/scheduler-" ^ name)
+      (stage (fun () ->
+           let graph, ids = Lazy.force small_poisson in
+           let rng = fixture_rng () in
+           ignore
+             (Cluster.Algorithm.run ~scheduler rng Cluster.Config.basic graph
+                ~ids)))
+  in
+  [
+    build Cluster.Algorithm.Synchronous "synchronous";
+    build Cluster.Algorithm.Sequential "sequential";
+  ]
+
+let ablation_metric =
+  let build algo name =
+    Test.make ~name:("ablation/metric-" ^ name)
+      (stage (fun () ->
+           let graph, ids = Lazy.force small_poisson in
+           let rng = fixture_rng () in
+           ignore (E.Exp_compare.cluster_with rng algo graph ~ids)))
+  in
+  [
+    build (E.Exp_compare.Heuristic Cluster.Metric.Density) "density";
+    build (E.Exp_compare.Heuristic Cluster.Metric.Degree) "degree";
+    build (E.Exp_compare.Heuristic Cluster.Metric.Uniform) "lowest-id";
+    build (E.Exp_compare.Maxmin_d 2) "maxmin-d2";
+  ]
+
+let ext_energy =
+  Test.make ~name:"ext/energy-lifetime"
+    (stage (fun () ->
+         let graph, ids = Lazy.force small_poisson in
+         let rng = fixture_rng () in
+         ignore
+           (Cluster.Energy.simulate_lifetime ~capacity:30.0 ~energy_aware:true
+              rng graph ~ids)))
+
+let ext_hierarchy =
+  Test.make ~name:"ext/hierarchy-build"
+    (stage (fun () ->
+         let graph, ids = Lazy.force small_poisson in
+         let rng = fixture_rng () in
+         ignore (Cluster.Hierarchy.build rng graph ~ids)))
+
+let ext_bounds =
+  Test.make ~name:"ext/mobility-bounds-point"
+    (stage (fun () ->
+         ignore
+           (E.Exp_mobility_bounds.run ~seed:5 ~runs:1 ~count:100 ~epochs:5
+              ~speeds:[ 4.0 ] ())))
+
+let ablation_channel =
+  let build channel name =
+    Test.make ~name:("ablation/channel-" ^ name)
+      (stage (fun () ->
+           let rng = fixture_rng () in
+           let graph =
+             Builders.random_geometric rng ~intensity:100.0 ~radius:0.12
+           in
+           ignore (Bench_engine.run ~channel ~quiet_rounds:5 ~max_rounds:500 rng graph)))
+  in
+  [
+    build Ss_radio.Channel.perfect "perfect";
+    build (Ss_radio.Channel.bernoulli 0.9) "bernoulli-0.9";
+    build (Ss_radio.Channel.slotted ~slots:16) "slotted-16";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Substrate micro-benches.                                            *)
+
+let micro_unit_disk =
+  Test.make ~name:"micro/unit-disk-500"
+    (stage (fun () ->
+         ignore (Graph.unit_disk ~radius:0.08 (Lazy.force positions_500))))
+
+let micro_unit_disk_naive =
+  Test.make ~name:"micro/unit-disk-500-naive"
+    (stage (fun () ->
+         (* Quadratic reference for the spatial-index ablation. *)
+         let positions = Lazy.force positions_500 in
+         let n = Array.length positions in
+         let edges = ref [] in
+         for p = 0 to n - 1 do
+           for q = p + 1 to n - 1 do
+             if Ss_geom.Vec2.dist positions.(p) positions.(q) <= 0.08 then
+               edges := (p, q) :: !edges
+           done
+         done;
+         ignore (Graph.of_edges ~n !edges)))
+
+let micro_density =
+  Test.make ~name:"micro/density-all"
+    (stage (fun () ->
+         let graph, _ = Lazy.force small_poisson in
+         ignore (Cluster.Density.compute_all graph)))
+
+let micro_bfs =
+  Test.make ~name:"micro/bfs"
+    (stage (fun () ->
+         let graph, _ = Lazy.force small_poisson in
+         ignore (Ss_topology.Traversal.bfs_from graph 0)))
+
+let tests =
+  Test.make_grouped ~name:"selfstab"
+    ([
+       table1; table2; table3; table4; table5; fig2; fig3; mobility; selfstab;
+       ext_energy; ext_hierarchy; ext_bounds;
+       micro_unit_disk; micro_unit_disk_naive; micro_density; micro_bfs;
+     ]
+    @ ablation_gamma @ ablation_scheduler @ ablation_metric @ ablation_channel)
+
+let () =
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let nanos =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | Some [] | None -> nan
+        in
+        (name, nanos) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let pp_time nanos =
+    if Float.is_nan nanos then "-"
+    else if nanos > 1e9 then Printf.sprintf "%.2f s" (nanos /. 1e9)
+    else if nanos > 1e6 then Printf.sprintf "%.2f ms" (nanos /. 1e6)
+    else if nanos > 1e3 then Printf.sprintf "%.2f us" (nanos /. 1e3)
+    else Printf.sprintf "%.0f ns" nanos
+  in
+  let table =
+    List.fold_left
+      (fun t (name, nanos) ->
+        Ss_stats.Table.add_row t [ name; pp_time nanos ])
+      (Ss_stats.Table.create ~title:"Benchmarks (estimated time per run)"
+         ~header:[ "benchmark"; "time/run" ]
+         ~aligns:[ Ss_stats.Table.Left; Ss_stats.Table.Right ]
+         ())
+      rows
+  in
+  Ss_stats.Table.print table

@@ -1,0 +1,250 @@
+(* Command-line driver: one subcommand per paper table/figure plus the
+   extension experiments. `repro all` regenerates everything; every tabular
+   subcommand takes `--csv` to emit machine-readable output instead of the
+   boxed table. *)
+
+open Cmdliner
+module E = Ss_experiments
+module Table = Ss_stats.Table
+
+let seed_arg =
+  let doc = "Base PRNG seed; every run derives an independent sub-stream." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let runs_arg default =
+  let doc = "Number of independent runs to average over." in
+  Arg.(value & opt int default & info [ "runs" ] ~docv:"RUNS" ~doc)
+
+let intensity_arg =
+  let doc = "Poisson intensity (expected node count in the unit square)." in
+  Arg.(value & opt float 1000.0 & info [ "intensity" ] ~docv:"LAMBDA" ~doc)
+
+let csv_arg =
+  let doc = "Emit CSV instead of a boxed table." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let output ~csv table =
+  if csv then print_string (Table.to_csv table) else Table.print table
+
+let table1_cmd =
+  let doc = "Table 1 / Figure 1: the worked 10-node example." in
+  let run csv =
+    let result = E.Exp_example.run () in
+    output ~csv result.E.Exp_example.table;
+    if not csv then
+      List.iter
+        (fun (head, members) ->
+          Fmt.pr "cluster head %s: {%a}@." head
+            Fmt.(list ~sep:comma string)
+            members)
+        result.E.Exp_example.clusters
+  in
+  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ csv_arg)
+
+let table2_cmd =
+  let doc = "Table 2: knowledge schedule of the distributed protocol." in
+  let run seed runs csv =
+    output ~csv (E.Exp_schedule.to_table (E.Exp_schedule.run ~seed ~runs ()))
+  in
+  Cmd.v (Cmd.info "table2" ~doc)
+    Term.(const run $ seed_arg $ runs_arg 10 $ csv_arg)
+
+let table3_cmd =
+  let doc = "Table 3: steps to build the DAG of local names." in
+  let run seed runs intensity csv =
+    output ~csv
+      (E.Exp_dag_steps.to_table (E.Exp_dag_steps.run ~seed ~runs ~intensity ()))
+  in
+  Cmd.v (Cmd.info "table3" ~doc)
+    Term.(const run $ seed_arg $ runs_arg 30 $ intensity_arg $ csv_arg)
+
+let table4_cmd =
+  let doc = "Table 4: cluster features on random geometric graphs." in
+  let run seed runs intensity csv =
+    output ~csv
+      (E.Exp_features.to_table
+         ~title:"Table 4 — cluster features on a random geometric graph"
+         (E.Exp_features.run_random ~seed ~runs ~intensity ()))
+  in
+  Cmd.v (Cmd.info "table4" ~doc)
+    Term.(const run $ seed_arg $ runs_arg 30 $ intensity_arg $ csv_arg)
+
+let table5_cmd =
+  let doc = "Table 5: cluster features on the adversarial row-major grid." in
+  let run seed runs csv =
+    output ~csv
+      (E.Exp_features.to_table
+         ~title:
+           "Table 5 — cluster features on a grid with adversarial (row-major) \
+            ids"
+         (E.Exp_features.run_grid ~seed ~runs ()))
+  in
+  Cmd.v (Cmd.info "table5" ~doc)
+    Term.(const run $ seed_arg $ runs_arg 10 $ csv_arg)
+
+let figures_cmd =
+  let doc = "Figures 2 and 3: grid clusterings with and without the DAG." in
+  let dir_arg =
+    Arg.(
+      value & opt string "figures"
+      & info [ "out" ] ~docv:"DIR" ~doc:"Output directory for SVG files.")
+  in
+  let run dir = E.Exp_figures.print ~dir () in
+  Cmd.v (Cmd.info "figures" ~doc) Term.(const run $ dir_arg)
+
+let mobility_cmd =
+  let doc =
+    "Section 5 mobility experiment: cluster-head retention, improved vs \
+     basic rules."
+  in
+  let count_arg =
+    Arg.(
+      value
+      & opt int E.Exp_mobility.default_params.E.Exp_mobility.count
+      & info [ "count" ] ~docv:"N" ~doc:"Number of nodes.")
+  in
+  let horizon_arg =
+    Arg.(
+      value
+      & opt float E.Exp_mobility.default_params.E.Exp_mobility.horizon
+      & info [ "horizon" ] ~docv:"SECONDS"
+          ~doc:"Simulated duration per run (the paper uses 900 s).")
+  in
+  let run seed runs count horizon csv =
+    let params =
+      {
+        E.Exp_mobility.default_params with
+        E.Exp_mobility.seed;
+        runs;
+        count;
+        horizon;
+      }
+    in
+    output ~csv (E.Exp_mobility.to_table (E.Exp_mobility.run ~params ()))
+  in
+  Cmd.v (Cmd.info "mobility" ~doc)
+    Term.(
+      const run $ seed_arg $ runs_arg 5 $ count_arg $ horizon_arg $ csv_arg)
+
+let selfstab_cmd =
+  let doc =
+    "Self-stabilization measurements: recovery after corruption, \
+     convergence under frame loss."
+  in
+  let run seed runs csv =
+    output ~csv
+      (E.Exp_selfstab.recovery_table
+         (E.Exp_selfstab.measure_recovery ~seed ~runs ()));
+    output ~csv
+      (E.Exp_selfstab.loss_table (E.Exp_selfstab.measure_loss ~seed ~runs ()))
+  in
+  Cmd.v (Cmd.info "selfstab" ~doc)
+    Term.(const run $ seed_arg $ runs_arg 10 $ csv_arg)
+
+let compare_cmd =
+  let doc =
+    "Metric comparison: head retention of density vs degree, lowest-id and \
+     max-min."
+  in
+  let run seed runs csv =
+    output ~csv (E.Exp_compare.to_table (E.Exp_compare.run ~seed ~runs ()))
+  in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const run $ seed_arg $ runs_arg 5 $ csv_arg)
+
+let energy_cmd =
+  let doc =
+    "Extension: network lifetime with and without the energy-aware election."
+  in
+  let run seed runs csv =
+    output ~csv (E.Exp_energy.to_table (E.Exp_energy.run ~seed ~runs ()))
+  in
+  Cmd.v (Cmd.info "energy" ~doc)
+    Term.(const run $ seed_arg $ runs_arg 5 $ csv_arg)
+
+let hierarchy_cmd =
+  let doc = "Extension: cluster-head population per hierarchy level." in
+  let run seed runs csv =
+    output ~csv (E.Exp_hierarchy.to_table (E.Exp_hierarchy.run ~seed ~runs ()))
+  in
+  Cmd.v (Cmd.info "hierarchy" ~doc)
+    Term.(const run $ seed_arg $ runs_arg 10 $ csv_arg)
+
+let bounds_cmd =
+  let doc =
+    "Extension: stabilization cost and structure churn as a function of \
+     node speed."
+  in
+  let run seed runs csv =
+    output ~csv
+      (E.Exp_mobility_bounds.to_table (E.Exp_mobility_bounds.run ~seed ~runs ()))
+  in
+  Cmd.v (Cmd.info "bounds" ~doc)
+    Term.(const run $ seed_arg $ runs_arg 3 $ csv_arg)
+
+let links_cmd =
+  let doc =
+    "Extension: stabilization cost and churn as a function of the link \
+     failure rate."
+  in
+  let run seed runs csv =
+    output ~csv
+      (E.Exp_link_failure.to_table (E.Exp_link_failure.run ~seed ~runs ()))
+  in
+  Cmd.v (Cmd.info "links" ~doc)
+    Term.(const run $ seed_arg $ runs_arg 3 $ csv_arg)
+
+let all_cmd =
+  let doc = "Run every experiment with fast defaults." in
+  let run seed =
+    Fmt.pr "== Table 1 ==@.";
+    E.Exp_example.print ();
+    Fmt.pr "@.== Table 2 ==@.";
+    E.Exp_schedule.print ~seed ~runs:5 ();
+    Fmt.pr "@.== Table 3 ==@.";
+    E.Exp_dag_steps.print ~seed ~runs:10 ();
+    Fmt.pr "@.== Table 4 ==@.";
+    E.Exp_features.print_random ~seed ~runs:10 ();
+    Fmt.pr "@.== Table 5 ==@.";
+    E.Exp_features.print_grid ~seed ~runs:5 ();
+    Fmt.pr "@.== Figures 2 & 3 ==@.";
+    E.Exp_figures.print ();
+    Fmt.pr "@.== Mobility ==@.";
+    E.Exp_mobility.print
+      ~params:
+        {
+          E.Exp_mobility.default_params with
+          E.Exp_mobility.seed;
+          runs = 3;
+          horizon = 120.0;
+        }
+      ();
+    Fmt.pr "@.== Self-stabilization ==@.";
+    E.Exp_selfstab.print ~seed ~runs:5 ();
+    Fmt.pr "@.== Metric comparison ==@.";
+    E.Exp_compare.print ~seed ~runs:3 ~epochs:30 ();
+    Fmt.pr "@.== Extension: energy ==@.";
+    E.Exp_energy.print ~seed ~runs:3 ();
+    Fmt.pr "@.== Extension: hierarchy ==@.";
+    E.Exp_hierarchy.print ~seed ~runs:5 ();
+    Fmt.pr "@.== Extension: stabilization vs mobility ==@.";
+    E.Exp_mobility_bounds.print ~seed ~runs:2 ~epochs:20 ();
+    Fmt.pr "@.== Extension: stabilization vs link failures ==@.";
+    E.Exp_link_failure.print ~seed ~runs:2 ~epochs:15 ()
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ seed_arg)
+
+let main_cmd =
+  let doc =
+    "Reproduction of `Self-stabilization in self-organized multihop \
+     wireless networks' (Mitton, Fleury, Guerin Lassous, Tixeuil)."
+  in
+  Cmd.group
+    (Cmd.info "repro" ~version:"1.0.0" ~doc)
+    [
+      table1_cmd; table2_cmd; table3_cmd; table4_cmd; table5_cmd;
+      figures_cmd; mobility_cmd; selfstab_cmd; compare_cmd; energy_cmd;
+      hierarchy_cmd; bounds_cmd; links_cmd; all_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/energy_rotation.ml: Array Float Fmt List Ss_cluster Ss_prng Ss_topology

@@ -1,0 +1,1 @@
+examples/fault_recovery.ml: Array Fmt Ss_cluster Ss_engine Ss_prng Ss_topology

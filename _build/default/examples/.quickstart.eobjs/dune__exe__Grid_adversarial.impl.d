@@ -1,0 +1,1 @@
+examples/grid_adversarial.ml: Fmt Ss_cluster Ss_experiments Ss_prng Ss_viz

@@ -1,0 +1,1 @@
+examples/hierarchy_levels.ml: Fmt List Ss_cluster Ss_prng Ss_topology

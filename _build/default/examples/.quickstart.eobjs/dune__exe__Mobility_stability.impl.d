@@ -1,0 +1,1 @@
+examples/mobility_stability.ml: Array Fmt Ss_cluster Ss_geom Ss_mobility Ss_prng Ss_stats Ss_topology

@@ -1,0 +1,51 @@
+(* Hierarchical self-organization (the paper's future work): cluster the
+   network, then cluster the cluster-heads, and so on — each level runs the
+   same self-stabilizing density election on the head-overlay graph. This
+   is the structure hierarchical routing schemes address by.
+
+     dune exec examples/hierarchy_levels.exe
+*)
+
+module Rng = Ss_prng.Rng
+module Builders = Ss_topology.Builders
+module Graph = Ss_topology.Graph
+module Cluster = Ss_cluster
+module Hierarchy = Ss_cluster.Hierarchy
+
+let () =
+  let rng = Rng.create ~seed:13 in
+  let graph = Builders.random_geometric rng ~intensity:800.0 ~radius:0.08 in
+  let n = Graph.node_count graph in
+  let ids = Rng.permutation rng n in
+  Fmt.pr "network: %d nodes, %d links@.@." n (Graph.edge_count graph);
+
+  let h = Hierarchy.build rng graph ~ids in
+  Fmt.pr "hierarchy with %d levels:@." (Hierarchy.level_count h);
+  List.iteri
+    (fun level count -> Fmt.pr "  level %d: %4d cluster-heads@." level count)
+    (Hierarchy.heads_per_level h);
+
+  (* Addressing: a node's position in the hierarchy is its chain of heads,
+     bottom-up — the hierarchical address routing would use. *)
+  Fmt.pr "@.sample hierarchical addresses (node: level-0 head -> ... -> top):@.";
+  let sample = [ 0; n / 3; (2 * n) / 3 ] in
+  List.iter
+    (fun p ->
+      Fmt.pr "  node %4d: %a@." p
+        Fmt.(list ~sep:(any " -> ") int)
+        (Hierarchy.head_chain h p))
+    sample;
+
+  (* The overlay shrink factor is what buys scalability. *)
+  let counts = Hierarchy.heads_per_level h in
+  (match counts with
+  | level0 :: _ ->
+      Fmt.pr "@.%d nodes are summarized by %d level-0 heads (factor %.1f)@." n
+        level0
+        (float_of_int n /. float_of_int level0)
+  | [] -> ());
+  match List.rev counts with
+  | top :: _ ->
+      Fmt.pr "the whole network is represented by %d top-level head%s@." top
+        (if top = 1 then "" else "s")
+  | [] -> ()

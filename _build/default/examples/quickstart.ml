@@ -1,0 +1,56 @@
+(* Quickstart: deploy a random multihop wireless network, run the paper's
+   density-driven clustering, inspect the result.
+
+     dune exec examples/quickstart.exe
+*)
+
+module Rng = Ss_prng.Rng
+module Builders = Ss_topology.Builders
+module Graph = Ss_topology.Graph
+module Cluster = Ss_cluster
+
+let () =
+  (* 1. A reproducible random deployment: ~300 nodes in the unit square,
+     radio range 0.1 (a random geometric graph). *)
+  let rng = Rng.create ~seed:7 in
+  let graph = Builders.random_geometric rng ~intensity:300.0 ~radius:0.1 in
+  Fmt.pr "deployed %d nodes, %d links, max degree %d@."
+    (Graph.node_count graph) (Graph.edge_count graph) (Graph.max_degree graph);
+
+  (* 2. Give nodes their unique identifiers (a random permutation, as the
+     paper assumes) and cluster with the default configuration: density
+     metric, id tie-break. *)
+  let ids = Cluster.Algorithm.shuffled_ids rng graph in
+  let outcome = Cluster.Algorithm.run rng Cluster.Config.basic graph ~ids in
+  let assignment = outcome.Cluster.Algorithm.assignment in
+  Fmt.pr "clustering stabilized in %d synchronous steps@."
+    outcome.Cluster.Algorithm.rounds;
+
+  (* 3. Inspect the organization. *)
+  let summary = Cluster.Metrics.summarize graph assignment in
+  Fmt.pr "%a@." Cluster.Metrics.pp_summary summary;
+  List.iter
+    (fun (head, members) ->
+      Fmt.pr "  head %4d leads %3d nodes (density %a)@." head
+        (List.length members)
+        Cluster.Density.pp
+        (Cluster.Density.compute graph head))
+    (List.filteri (fun i _ -> i < 5) (Cluster.Assignment.clusters assignment));
+  Fmt.pr "  ...@.";
+
+  (* 4. The same network with all of the paper's refinements: DAG names for
+     constant-time stabilization, incumbent tie-break and cluster fusion. *)
+  let improved =
+    Cluster.Algorithm.run ~scheduler:Cluster.Algorithm.Sequential rng
+      Cluster.Config.improved_with_dag graph ~ids
+  in
+  Fmt.pr "with all refinements: %a@."
+    Cluster.Metrics.pp_summary
+    (Cluster.Metrics.summarize graph improved.Cluster.Algorithm.assignment);
+  match
+    Cluster.Metrics.min_head_separation graph
+      improved.Cluster.Algorithm.assignment
+  with
+  | Some separation ->
+      Fmt.pr "minimum distance between cluster-heads: %d hops@." separation
+  | None -> Fmt.pr "fewer than two cluster-heads@."

@@ -1,0 +1,1 @@
+lib/cluster/algorithm.ml: Array Assignment Config Dag_id Density Fun Metric Order Ss_prng Ss_topology

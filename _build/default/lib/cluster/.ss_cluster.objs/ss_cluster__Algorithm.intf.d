@@ -1,0 +1,1 @@
+lib/cluster/algorithm.mli: Assignment Config Dag_id Density Ss_prng Ss_topology

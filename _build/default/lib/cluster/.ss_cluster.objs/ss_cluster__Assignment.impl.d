@@ -1,0 +1,1 @@
+lib/cluster/assignment.ml: Array Fmt List Ss_topology

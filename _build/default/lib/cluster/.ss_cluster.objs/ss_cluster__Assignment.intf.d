@@ -1,0 +1,1 @@
+lib/cluster/assignment.mli: Fmt Ss_topology

@@ -1,0 +1,1 @@
+lib/cluster/config.ml: Fmt Gamma Metric Order

@@ -1,0 +1,1 @@
+lib/cluster/config.mli: Fmt Gamma Metric Order

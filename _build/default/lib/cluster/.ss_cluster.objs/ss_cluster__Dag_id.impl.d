@@ -1,0 +1,1 @@
+lib/cluster/dag_id.ml: Array Gamma Ss_prng Ss_topology

@@ -1,0 +1,1 @@
+lib/cluster/density.ml: Array Fmt Int List Ss_topology

@@ -1,0 +1,1 @@
+lib/cluster/density.mli: Fmt Ss_topology

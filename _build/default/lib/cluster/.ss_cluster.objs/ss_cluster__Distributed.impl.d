@@ -1,0 +1,1 @@
+lib/cluster/distributed.ml: Array Assignment Config Density Fun Gamma Int List Order Ss_prng Ss_topology

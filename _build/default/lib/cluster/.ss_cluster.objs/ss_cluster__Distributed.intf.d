@@ -1,0 +1,1 @@
+lib/cluster/distributed.mli: Assignment Config Density Ss_engine Ss_prng

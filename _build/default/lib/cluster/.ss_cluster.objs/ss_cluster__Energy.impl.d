@@ -1,0 +1,1 @@
+lib/cluster/energy.ml: Algorithm Array Assignment Config Density Float List Metric Order Ss_prng Ss_topology

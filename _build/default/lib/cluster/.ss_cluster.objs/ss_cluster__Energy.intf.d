@@ -1,0 +1,1 @@
+lib/cluster/energy.mli: Assignment Density Ss_prng Ss_topology

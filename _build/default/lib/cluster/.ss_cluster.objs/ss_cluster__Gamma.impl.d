@@ -1,0 +1,1 @@
+lib/cluster/gamma.ml: Fmt Ss_topology

@@ -1,0 +1,1 @@
+lib/cluster/gamma.mli: Fmt Ss_topology

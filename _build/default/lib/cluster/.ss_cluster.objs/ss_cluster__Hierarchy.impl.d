@@ -1,0 +1,1 @@
+lib/cluster/hierarchy.ml: Algorithm Array Assignment Config Fun Hashtbl List Ss_prng Ss_topology

@@ -1,0 +1,1 @@
+lib/cluster/hierarchy.mli: Assignment Config Ss_prng Ss_topology

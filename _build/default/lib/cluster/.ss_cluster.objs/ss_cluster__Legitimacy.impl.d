@@ -1,0 +1,1 @@
+lib/cluster/legitimacy.ml: Algorithm Array Assignment Config Fmt List Ss_prng Ss_topology

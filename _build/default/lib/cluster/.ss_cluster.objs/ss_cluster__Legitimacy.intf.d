@@ -1,0 +1,1 @@
+lib/cluster/legitimacy.mli: Assignment Config Density Fmt Ss_topology

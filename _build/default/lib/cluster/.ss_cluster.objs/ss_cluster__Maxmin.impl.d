@@ -1,0 +1,1 @@
+lib/cluster/maxmin.ml: Array Assignment Fun Hashtbl List Ss_topology

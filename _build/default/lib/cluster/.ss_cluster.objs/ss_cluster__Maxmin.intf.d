@@ -1,0 +1,1 @@
+lib/cluster/maxmin.mli: Assignment Ss_topology

@@ -1,0 +1,1 @@
+lib/cluster/metric.ml: Array Density Fmt Ss_topology

@@ -1,0 +1,1 @@
+lib/cluster/metric.mli: Density Fmt Ss_topology

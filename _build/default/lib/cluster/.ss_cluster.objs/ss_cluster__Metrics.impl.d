@@ -1,0 +1,1 @@
+lib/cluster/metrics.ml: Array Assignment Fmt List Option Ss_topology

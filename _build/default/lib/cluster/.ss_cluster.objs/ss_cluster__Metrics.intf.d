@@ -1,0 +1,1 @@
+lib/cluster/metrics.mli: Assignment Fmt Ss_topology

@@ -1,0 +1,1 @@
+lib/cluster/order.ml: Density Fmt Int List

@@ -1,0 +1,1 @@
+lib/cluster/order.mli: Density Fmt

@@ -1,0 +1,98 @@
+module Graph = Ss_topology.Graph
+
+type t = {
+  parent : int array; (* F(p); parent.(p) = p for cluster-heads *)
+  head : int array; (* H(p): the head each node has converged to *)
+}
+
+let make ~parent ~head =
+  if Array.length parent <> Array.length head then
+    invalid_arg "Assignment.make: array length mismatch";
+  { parent; head }
+
+let size t = Array.length t.parent
+
+let parent t p = t.parent.(p)
+let head t p = t.head.(p)
+
+let is_head t p = t.head.(p) = p
+
+let heads t =
+  let acc = ref [] in
+  for p = size t - 1 downto 0 do
+    if is_head t p then acc := p :: !acc
+  done;
+  !acc
+
+let cluster_count t = List.length (heads t)
+
+let members t h =
+  let acc = ref [] in
+  for p = size t - 1 downto 0 do
+    if t.head.(p) = h then acc := p :: !acc
+  done;
+  !acc
+
+let clusters t = List.map (fun h -> (h, members t h)) (heads t)
+
+(* Length of the parent chain from p to its first repeated node; the chain
+   is the clusterization tree path the paper measures ("tree length").
+   Bounded walk so a malformed assignment (cycle) cannot loop forever. *)
+let tree_depth t p =
+  let n = size t in
+  let rec walk node depth =
+    if depth > n then None
+    else if t.parent.(node) = node then Some depth
+    else walk t.parent.(node) (depth + 1)
+  in
+  walk p 0
+
+type problem =
+  | Parent_not_neighbor of int
+  | Parent_cycle of int
+  | Head_mismatch of int
+  | Stranded_member of int
+
+let pp_problem ppf = function
+  | Parent_not_neighbor p -> Fmt.pf ppf "node %d: parent is not a neighbor" p
+  | Parent_cycle p -> Fmt.pf ppf "node %d: parent chain cycles" p
+  | Head_mismatch p ->
+      Fmt.pf ppf "node %d: H value disagrees with the parent chain root" p
+  | Stranded_member p ->
+      Fmt.pf ppf "node %d: head is neither itself nor reachable" p
+
+(* Structural soundness: every parent is the node itself or a 1-neighbor;
+   parent chains terminate; the chain root is exactly the H value. This is
+   the legitimate-state predicate for the basic algorithm. *)
+let validate graph t =
+  if size t <> Graph.node_count graph then
+    Error [ Stranded_member (-1) ]
+  else begin
+    let problems = ref [] in
+    for p = size t - 1 downto 0 do
+      let f = t.parent.(p) in
+      if f <> p && not (Graph.mem_edge graph p f) then
+        problems := Parent_not_neighbor p :: !problems;
+      (match tree_depth t p with
+      | None -> problems := Parent_cycle p :: !problems
+      | Some _ ->
+          let rec root node fuel =
+            if t.parent.(node) = node || fuel = 0 then node
+            else root t.parent.(node) (fuel - 1)
+          in
+          if root p (size t) <> t.head.(p) then
+            problems := Head_mismatch p :: !problems)
+    done;
+    match !problems with [] -> Ok () | ps -> Error ps
+  end
+
+let equal a b =
+  Array.length a.parent = Array.length b.parent
+  && a.parent = b.parent && a.head = b.head
+
+let pp ppf t =
+  let hs = heads t in
+  Fmt.pf ppf "assignment(%d nodes, %d clusters: %a)" (size t)
+    (List.length hs)
+    Fmt.(list ~sep:comma int)
+    hs

@@ -1,0 +1,42 @@
+(** The outcome of clustering: each node's parent F(p) and cluster-head
+    H(p). A node with [parent p = p] elected itself; clusters are the
+    fibers of [head]. *)
+
+type t
+
+val make : parent:int array -> head:int array -> t
+
+val size : t -> int
+val parent : t -> int -> int
+val head : t -> int -> int
+val is_head : t -> int -> bool
+
+val heads : t -> int list
+(** Sorted self-elected heads. *)
+
+val cluster_count : t -> int
+
+val members : t -> int -> int list
+(** Sorted members of the cluster headed by the given node (includes the
+    head itself; empty if it heads nothing). *)
+
+val clusters : t -> (int * int list) list
+
+val tree_depth : t -> int -> int option
+(** Parent-chain hops from the node to its tree root; [None] if the chain
+    cycles (malformed assignment). *)
+
+type problem =
+  | Parent_not_neighbor of int
+  | Parent_cycle of int
+  | Head_mismatch of int
+  | Stranded_member of int
+
+val pp_problem : problem Fmt.t
+
+val validate : Ss_topology.Graph.t -> t -> (unit, problem list) result
+(** Structural legitimacy: parents are self-or-neighbor, chains terminate,
+    and H matches the chain root. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

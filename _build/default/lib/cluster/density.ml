@@ -1,0 +1,95 @@
+(* Definition 1 of the paper:
+
+     d_p = |{ e = (v,w) in E : w in {p} u N_p  and  v in N_p }| / |N_p|
+
+   i.e. (deg p + number of edges among N_p) / |N_p|. Stored as an exact
+   rational: the stabilization proof relies on the metric taking at most
+   delta^3 distinct values, and the grid experiments rely on exact ties,
+   so floating point is not acceptable here. *)
+
+module Graph = Ss_topology.Graph
+
+type t = { links : int; nodes : int }
+
+let zero = { links = 0; nodes = 0 }
+
+let make ~links ~nodes =
+  if links < 0 || nodes < 0 then invalid_arg "Density.make: negative counts";
+  { links; nodes }
+
+let links t = t.links
+let nodes t = t.nodes
+
+(* Isolated nodes have |N_p| = 0; Definition 1 is then 0/0, which we define
+   as value 0 (an isolated node carries no neighborhood mass). *)
+let normalized t = if t.nodes = 0 then (0, 1) else (t.links, t.nodes)
+
+let to_float t =
+  let num, den = normalized t in
+  float_of_int num /. float_of_int den
+
+let compare a b =
+  let an, ad = normalized a and bn, bd = normalized b in
+  Int.compare (an * bd) (bn * ad)
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  let num, den = normalized t in
+  if num mod den = 0 then Fmt.pf ppf "%d" (num / den)
+  else Fmt.pf ppf "%d/%d" num den
+
+let compute graph p =
+  Graph.check_node graph p;
+  let nbrs = Graph.neighbors graph p in
+  let deg = Array.length nbrs in
+  (* Edges among N_p: for each neighbor q, count its neighbors r with r > q
+     that are also neighbors of p (each such edge counted once). *)
+  let in_np q =
+    (* Binary search in the sorted neighbor array. *)
+    let rec search lo hi =
+      if lo >= hi then false
+      else
+        let mid = (lo + hi) / 2 in
+        if nbrs.(mid) = q then true
+        else if nbrs.(mid) < q then search (mid + 1) hi
+        else search lo mid
+    in
+    search 0 deg
+  in
+  let among = ref 0 in
+  Array.iter
+    (fun q ->
+      Array.iter
+        (fun r -> if r > q && in_np r then incr among)
+        (Graph.neighbors graph q))
+    nbrs;
+  { links = deg + !among; nodes = deg }
+
+let compute_all graph =
+  Array.init (Graph.node_count graph) (fun p -> compute graph p)
+
+(* Density from local knowledge only: the node's neighbor set and each
+   neighbor's claimed neighbor list — what the distributed protocol can see
+   after two steps. [tables] maps each neighbor to its claimed neighbors. *)
+let of_local_view ~neighbors ~tables =
+  let deg = Array.length neighbors in
+  let sorted = Array.copy neighbors in
+  Array.sort Int.compare sorted;
+  let in_np q =
+    let rec search lo hi =
+      if lo >= hi then false
+      else
+        let mid = (lo + hi) / 2 in
+        if sorted.(mid) = q then true
+        else if sorted.(mid) < q then search (mid + 1) hi
+        else search lo mid
+    in
+    search 0 deg
+  in
+  let among = ref 0 in
+  List.iter
+    (fun (q, table) ->
+      Array.iter (fun r -> if r > q && in_np r then incr among) table)
+    tables;
+  { links = deg + !among; nodes = deg }

@@ -1,0 +1,35 @@
+(** The paper's density metric (Definition 1), as an exact rational.
+
+    [d_p] is the number of edges within the closed neighborhood that touch
+    [N_p] — that is, [deg p] plus the number of edges among [N_p] — divided
+    by [|N_p|]. Exact rationals keep ties exact (the grid scenarios depend
+    on them) and realize the proof's observation that the metric ranges over
+    at most delta^3 values. *)
+
+type t
+
+val zero : t
+(** The density of an isolated node. *)
+
+val make : links:int -> nodes:int -> t
+val links : t -> int
+val nodes : t -> int
+
+val to_float : t -> float
+val compare : t -> t -> int
+(** Compares by rational value ([0/0] reads as 0). *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t
+
+val compute : Ss_topology.Graph.t -> int -> t
+(** Density of one node from the true topology. *)
+
+val compute_all : Ss_topology.Graph.t -> t array
+
+val of_local_view :
+  neighbors:int array -> tables:(int * int array) list -> t
+(** Density as the distributed protocol computes it: from the node's own
+    neighbor set and each neighbor's claimed neighbor table. [tables]
+    entries for unknown neighbors are ignored by construction (the caller
+    passes exactly its known neighbors). *)

@@ -1,0 +1,371 @@
+(* Message-level implementation of the whole stack of the paper:
+
+     - neighbor discovery through periodic local broadcast (the shared
+       variable propagation scheme of Herman-Tixeuil);
+     - N1 name resolution (Section 4.1), running continuously;
+     - density computation R1 from the claimed neighbor tables (step 2 of
+       Table 2);
+     - cluster-head election R2, with the Section 4.3 refinements, from
+       cached neighbor values (steps 3+ of Table 2).
+
+   Every piece recomputes from the frames actually heard; cached entries
+   expire after [cache_ttl] rounds without refresh, which is what makes the
+   protocol self-stabilizing: arbitrary corrupt state drains out of the
+   caches within the TTL and is replaced by fresh observations. *)
+
+module Graph = Ss_topology.Graph
+module Rng = Ss_prng.Rng
+
+type params = {
+  algo : Config.t;
+  ids : int array option; (* global ids; defaults to the node index *)
+  cache_ttl : int; (* rounds a cache entry survives without refresh *)
+}
+
+let default_params = { algo = Config.basic; ids = None; cache_ttl = 3 }
+
+type summary = {
+  s_node : int;
+  s_density : Density.t option;
+  s_eff : int;
+  s_is_head : bool;
+}
+
+type message = {
+  m_node : int;
+  m_gid : int;
+  m_dag : int;
+  m_density : Density.t option;
+  m_head : int option;
+  m_nbrs : summary array; (* sorted by s_node *)
+}
+
+type entry = {
+  e_heard : int; (* receiver clock at last refresh *)
+  e_gid : int;
+  e_dag : int;
+  e_density : Density.t option;
+  e_head : int option;
+  e_nbrs : int array; (* the neighbor's claimed neighbor indices, sorted *)
+}
+
+type far_entry = {
+  f_heard : int;
+  f_density : Density.t option;
+  f_eff : int;
+  f_is_head : bool;
+}
+
+type state = {
+  clock : int;
+  gamma : int;
+  gid : int;
+  dag : int;
+  density : Density.t option;
+  parent : int option;
+  head : int option;
+  cache : (int * entry) list; (* 1-hop cache, sorted by node index *)
+  far : (int * far_entry) list; (* 2-hop cache, sorted by node index *)
+}
+
+module Make (P : sig
+  val params : params
+end) =
+struct
+  let params = P.params
+  let algo = params.algo
+
+  type nonrec state = state
+
+  type nonrec message = message
+
+  let gid_of graph p =
+    match params.ids with
+    | None -> p
+    | Some ids ->
+        if Array.length ids <> Graph.node_count graph then
+          invalid_arg "Distributed: ids length mismatch";
+        ids.(p)
+
+  let init rng graph p =
+    let gamma = Gamma.size algo.Config.gamma graph in
+    {
+      clock = 0;
+      gamma;
+      gid = gid_of graph p;
+      dag = Rng.int rng gamma;
+      density = None;
+      parent = None;
+      head = None;
+      cache = [];
+      far = [];
+    }
+
+  let is_head_of ~node st = st.head = Some node
+
+  let emit _graph p st =
+    let summaries =
+      List.map
+        (fun (q, e) ->
+          {
+            s_node = q;
+            s_density = e.e_density;
+            s_eff = (if algo.Config.use_dag_names then e.e_dag else e.e_gid);
+            s_is_head = e.e_head = Some q;
+          })
+        st.cache
+    in
+    {
+      m_node = p;
+      m_gid = st.gid;
+      m_dag = st.dag;
+      m_density = st.density;
+      m_head = st.head;
+      m_nbrs = Array.of_list summaries;
+    }
+
+  (* Sorted-assoc-list update keeping canonical order (so polymorphic
+     equality detects fixpoints). *)
+  let assoc_put key value l =
+    let rec go = function
+      | [] -> [ (key, value) ]
+      | ((k, _) as pair) :: rest ->
+          if k < key then pair :: go rest
+          else if k = key then (key, value) :: rest
+          else (key, value) :: pair :: rest
+    in
+    go l
+
+  let refresh_cache clock cache msgs =
+    let cache =
+      List.fold_left
+        (fun cache (q, m) ->
+          let entry =
+            {
+              e_heard = clock;
+              e_gid = m.m_gid;
+              e_dag = m.m_dag;
+              e_density = m.m_density;
+              e_head = m.m_head;
+              e_nbrs = Array.map (fun s -> s.s_node) m.m_nbrs;
+            }
+          in
+          assoc_put q entry cache)
+        cache msgs
+    in
+    List.filter (fun (_, e) -> clock - e.e_heard <= params.cache_ttl) cache
+
+  let refresh_far ~self clock far msgs =
+    let far =
+      List.fold_left
+        (fun far (_, m) ->
+          Array.fold_left
+            (fun far s ->
+              if s.s_node = self then far
+              else
+                assoc_put s.s_node
+                  {
+                    f_heard = clock;
+                    f_density = s.s_density;
+                    f_eff = s.s_eff;
+                    f_is_head = s.s_is_head;
+                  }
+                  far)
+            far m.m_nbrs)
+        far msgs
+    in
+    List.filter (fun (_, e) -> clock - e.f_heard <= params.cache_ttl) far
+
+  (* N1: re-pick my name if it collides with a cached neighbor name and I
+     hold the smaller global id (ties on gid broken by node index for
+     progress under corrupted duplicate ids). *)
+  let resolve_dag rng ~node st cache =
+    if not algo.Config.use_dag_names then st.dag
+    else begin
+      let loses (q, e) =
+        e.e_dag = st.dag
+        && (st.gid < e.e_gid || (st.gid = e.e_gid && node < q))
+      in
+      if not (List.exists loses cache) then st.dag
+      else begin
+        let excluded = Array.make st.gamma false in
+        List.iter
+          (fun (_, e) ->
+            if e.e_dag >= 0 && e.e_dag < st.gamma then excluded.(e.e_dag) <- true)
+          cache;
+        let free = ref [] in
+        Array.iteri (fun name used -> if not used then free := name :: !free)
+          excluded;
+        match !free with
+        | [] -> Rng.int rng st.gamma
+        | names -> List.nth names (Rng.int rng (List.length names))
+      end
+    end
+
+  let compute_density cache =
+    let neighbors = Array.of_list (List.map fst cache) in
+    let tables = List.map (fun (q, e) -> (q, e.e_nbrs)) cache in
+    Density.of_local_view ~neighbors ~tables
+
+  (* R2 from cached values: None when some needed cache field is missing
+     (guard disabled until the information arrives). *)
+  let elect ~node ~dag st cache far =
+    match st.density with
+    | None -> None
+    | Some my_density ->
+        let have_all_densities =
+          List.for_all (fun (_, e) -> e.e_density <> None) cache
+        in
+        if not have_all_densities then None
+        else begin
+          let tie = algo.Config.tie in
+          let my_eff = if algo.Config.use_dag_names then dag else st.gid in
+          let my_key =
+            Order.key ~value:my_density ~id:my_eff
+              ~incumbent:(is_head_of ~node st)
+          in
+          let key_of (q, e) =
+            let value =
+              match e.e_density with Some d -> d | None -> Density.zero
+            in
+            Order.key ~value
+              ~id:(if algo.Config.use_dag_names then e.e_dag else e.e_gid)
+              ~incumbent:(e.e_head = Some q)
+          in
+          match cache with
+          | [] -> Some (node, node) (* isolated: own head *)
+          | first :: rest ->
+              let best, best_key =
+                List.fold_left
+                  (fun (bq, bk) (q, e) ->
+                    let k = key_of (q, e) in
+                    if Order.compare ~tie k bk > 0 then (q, k) else (bq, bk))
+                  (fst first, key_of first)
+                  rest
+              in
+              let join q =
+                match List.assoc_opt q cache with
+                | Some e -> (
+                    match e.e_head with
+                    | Some h -> Some (q, h)
+                    | None -> None)
+                | None -> None
+              in
+              let locally_maximal = Order.precedes ~tie best_key my_key in
+              if not locally_maximal then join best
+              else if not algo.Config.fusion then Some (node, node)
+              else begin
+                (* The strongest dominating 2-hop head, from the relayed
+                   summaries. A locally-maximal node cannot be dominated by
+                   a 1-hop head, so only the far cache matters. *)
+                let dominating =
+                  List.fold_left
+                    (fun acc (q, e) ->
+                      match e.f_density with
+                      | Some d when e.f_is_head ->
+                          let k =
+                            Order.key ~value:d ~id:e.f_eff ~incumbent:true
+                          in
+                          if Order.precedes ~tie my_key k then
+                            match acc with
+                            | Some (_, kbest)
+                              when Order.compare ~tie k kbest <= 0 ->
+                                acc
+                            | Some _ | None -> Some (q, k)
+                          else acc
+                      | Some _ | None -> acc)
+                    None far
+                in
+                match dominating with
+                | None -> Some (node, node)
+                | Some (v, _) -> (
+                    (* Merge into v's cluster through the best bridge
+                       neighbor (one that claims v in its table); see
+                       Algorithm.bridge_towards for the rationale. *)
+                    let bridge =
+                      List.fold_left
+                        (fun acc (q, e) ->
+                          if Array.exists (Int.equal v) e.e_nbrs then
+                            let k = key_of (q, e) in
+                            match acc with
+                            | Some (_, kbest)
+                              when Order.compare ~tie k kbest <= 0 ->
+                                acc
+                            | Some _ | None -> Some (q, k)
+                          else acc)
+                        None cache
+                    in
+                    match bridge with
+                    | Some (b, _) -> join b
+                    | None ->
+                        (* Stale far entry with no live bridge: hold state
+                           until the cache refreshes or the entry expires. *)
+                        None)
+              end
+        end
+
+  let handle rng _graph node st msgs =
+    let clock = st.clock + 1 in
+    let cache = refresh_cache clock st.cache msgs in
+    let far = refresh_far ~self:node clock st.far msgs in
+    let dag = resolve_dag rng ~node st cache in
+    let density = Some (compute_density cache) in
+    let st = { st with clock; cache; far; dag; density } in
+    match elect ~node ~dag st cache far with
+    | Some (parent, head) -> { st with parent = Some parent; head = Some head }
+    | None -> st
+
+  let equal_state (a : state) (b : state) =
+    (* Quiescence is judged on the protocol's outputs — the shared variables
+       of the paper (name, density, parent, head). Cache bookkeeping churns
+       on every round (heard-at stamps, refreshes, expiry under a lossy
+       channel) without that meaning instability. Callers measuring
+       stabilization should require several quiet rounds (more than the
+       cache TTL) since in-flight relays can leave one output-quiet round
+       in the middle of convergence. *)
+    a.dag = b.dag
+    && a.density = b.density
+    && a.parent = b.parent
+    && a.head = b.head
+end
+
+(* Random state corruption for fault-injection experiments: scrambles every
+   field a transient fault could damage, within type-correct bounds. *)
+let corrupt rng _node st =
+  let random_density () =
+    if Rng.bool rng then None
+    else Some (Density.make ~links:(Rng.int rng 64) ~nodes:(1 + Rng.int rng 16))
+  in
+  let random_node () = Rng.int rng 4096 in
+  {
+    st with
+    dag = Rng.int rng (max 1 st.gamma);
+    density = random_density ();
+    parent = (if Rng.bool rng then None else Some (random_node ()));
+    head = (if Rng.bool rng then None else Some (random_node ()));
+    cache =
+      List.map
+        (fun (q, e) ->
+          ( q,
+            {
+              e with
+              e_dag = Rng.int rng (max 1 st.gamma);
+              e_density = random_density ();
+              e_head = (if Rng.bool rng then None else Some (random_node ()));
+            } ))
+        st.cache;
+    far = [];
+  }
+
+(* Readback of a converged run into an assignment; nodes that never elected
+   (no info yet) read as their own heads. *)
+let to_assignment states =
+  let n = Array.length states in
+  let parent = Array.init n Fun.id in
+  let head = Array.init n Fun.id in
+  Array.iteri
+    (fun p st ->
+      (match st.parent with Some f -> parent.(p) <- f | None -> ());
+      match st.head with Some h -> head.(p) <- h | None -> ())
+    states;
+  Assignment.make ~parent ~head

@@ -1,0 +1,86 @@
+(** The full protocol stack at message level, pluggable into
+    {!Ss_engine.Engine}: neighbor discovery by periodic local broadcast,
+    N1 name resolution, density computation and cluster-head election — all
+    recomputed from received frames, with cache expiry, which is what makes
+    the stack self-stabilizing.
+
+    Use this for step-schedule measurements (Table 2), DAG-construction
+    steps under message semantics, lossy-channel runs and fault-injection
+    recovery. For fast perfect-knowledge clustering on a static graph, use
+    {!Algorithm}. *)
+
+type params = {
+  algo : Config.t;
+  ids : int array option;  (** global ids; default: the node index *)
+  cache_ttl : int;
+      (** rounds a cache entry survives without being refreshed; 1 suffices
+          on a perfect channel, larger values ride out frame loss *)
+}
+
+val default_params : params
+
+type summary = {
+  s_node : int;
+  s_density : Density.t option;
+  s_eff : int;
+  s_is_head : bool;
+}
+
+type message = {
+  m_node : int;
+  m_gid : int;
+  m_dag : int;
+  m_density : Density.t option;
+  m_head : int option;
+  m_nbrs : summary array;
+}
+(** One frame: the sender's shared variables plus a relay summary of its
+    cached 1-neighborhood (what lets receivers see 2 hops). *)
+
+type entry = {
+  e_heard : int;
+  e_gid : int;
+  e_dag : int;
+  e_density : Density.t option;
+  e_head : int option;
+  e_nbrs : int array;
+}
+
+type far_entry = {
+  f_heard : int;
+  f_density : Density.t option;
+  f_eff : int;
+  f_is_head : bool;
+}
+
+type state = {
+  clock : int;
+  gamma : int;
+  gid : int;
+  dag : int;
+  density : Density.t option;
+  parent : int option;
+  head : int option;
+  cache : (int * entry) list;
+  far : (int * far_entry) list;
+}
+(** Exposed concretely so experiments can inspect per-round snapshots and
+    fault plans can build targeted corruptions. *)
+
+module Make (_ : sig
+  val params : params
+end) :
+  Ss_engine.Protocol.S with type state = state and type message = message
+(** [equal_state] compares only the protocol outputs (name, density, parent,
+    head); cache bookkeeping churns every round by design. When measuring
+    stabilization, ask the engine for more quiet rounds than the cache TTL:
+    relays in flight and pending expiries can leave isolated output-quiet
+    rounds mid-convergence. *)
+
+val corrupt : Ss_prng.Rng.t -> int -> state -> state
+(** Scramble every corruptible field (names, density, head, parent, cached
+    values) within type-correct bounds; the transient-fault model. *)
+
+val to_assignment : state array -> Assignment.t
+(** Project converged states to an assignment (nodes without an elected head
+    read as their own heads). *)

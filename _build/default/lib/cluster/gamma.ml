@@ -1,0 +1,44 @@
+(* Sizing of the DAG name space γ (Section 4.1). The paper notes the
+   tension: a large |γ| converges faster (fewer collisions), a small |γ|
+   bounds the name-DAG height (|γ|+1) and thus the stabilization time of
+   everything running on top. It uses δ² in simulations and argues δ can
+   suffice. Whatever the spec, the size is clamped to δ+1 so that a
+   maximal-degree node can always re-pick a locally free name. *)
+
+type t =
+  | Delta
+  | Delta_sq
+  | Delta_pow of int
+  | Fixed of int
+
+let delta = Delta
+let delta_sq = Delta_sq
+
+let delta_pow k =
+  if k < 1 then invalid_arg "Gamma.delta_pow: exponent must be >= 1";
+  Delta_pow k
+
+let fixed n =
+  if n < 1 then invalid_arg "Gamma.fixed: size must be >= 1";
+  Fixed n
+
+let ipow base exp =
+  let rec go acc exp = if exp = 0 then acc else go (acc * base) (exp - 1) in
+  go 1 exp
+
+let size t graph =
+  let d = Ss_topology.Graph.max_degree graph in
+  let requested =
+    match t with
+    | Delta -> d
+    | Delta_sq -> d * d
+    | Delta_pow k -> ipow d k
+    | Fixed n -> n
+  in
+  max requested (d + 1)
+
+let pp ppf = function
+  | Delta -> Fmt.string ppf "delta"
+  | Delta_sq -> Fmt.string ppf "delta^2"
+  | Delta_pow k -> Fmt.pf ppf "delta^%d" k
+  | Fixed n -> Fmt.pf ppf "%d" n

@@ -1,0 +1,22 @@
+(** The DAG name space γ of Section 4.1.
+
+    Names are drawn from [0 .. size-1]. The size trades convergence speed of
+    N1 (bigger is faster) against the height bound |γ|+1 of the name DAG
+    (smaller is shorter). The paper simulates with δ². *)
+
+type t =
+  | Delta
+  | Delta_sq
+  | Delta_pow of int
+  | Fixed of int
+
+val delta : t
+val delta_sq : t
+val delta_pow : int -> t
+val fixed : int -> t
+
+val size : t -> Ss_topology.Graph.t -> int
+(** Concrete size for a topology; clamped to max-degree + 1 so a node can
+    always find a locally unused name. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,108 @@
+(* Hierarchical clustering — the paper's conclusion proposes studying
+   "hierarchical self-stabilization algorithms" on top of the flat
+   organization. This module iterates the density-driven clustering on the
+   overlay graph of cluster-heads: two heads are overlay-adjacent when
+   their clusters touch (some radio link joins a member of one to a member
+   of the other), which is exactly the abstract topology hierarchical
+   routing schemes use between clusters. Each level is produced by the same
+   self-stabilizing algorithm, so the stack inherits its stabilization
+   properties level by level (each level stabilizes in constant expected
+   time once the one below is stable). *)
+
+module Graph = Ss_topology.Graph
+module Rng = Ss_prng.Rng
+
+type level = {
+  overlay : Graph.t; (* overlay nodes are 0..h-1 *)
+  underlying : int array; (* overlay index -> node of the base graph *)
+  assignment : Assignment.t; (* clustering of the overlay *)
+}
+
+type t = {
+  base : Graph.t;
+  base_assignment : Assignment.t;
+  levels : level list; (* bottom-up; empty when level 0 already has 1 head *)
+}
+
+(* Overlay of a clustered graph: one node per head; an edge when any radio
+   link joins the two clusters. *)
+let overlay_of graph assignment =
+  let heads = Array.of_list (Assignment.heads assignment) in
+  let index_of = Hashtbl.create (Array.length heads) in
+  Array.iteri (fun i h -> Hashtbl.replace index_of h i) heads;
+  let edges = ref [] in
+  Graph.iter_edges graph (fun u v ->
+      let hu = Assignment.head assignment u
+      and hv = Assignment.head assignment v in
+      if hu <> hv then
+        match (Hashtbl.find_opt index_of hu, Hashtbl.find_opt index_of hv) with
+        | Some a, Some b -> edges := (a, b) :: !edges
+        | Some _, None | None, Some _ | None, None -> ());
+  let positions =
+    match Graph.positions graph with
+    | Some pos -> Some (Array.map (fun h -> pos.(h)) heads)
+    | None -> None
+  in
+  (Graph.of_edges ?positions ~n:(Array.length heads) !edges, heads)
+
+let build ?(max_levels = 8) ?(config = Config.basic) rng graph ~ids =
+  if max_levels < 1 then invalid_arg "Hierarchy.build: max_levels must be >= 1";
+  let base_assignment =
+    Algorithm.cluster ~scheduler:Algorithm.Sequential rng config graph ~ids
+  in
+  (* [to_base] maps the current level's node indices back to base-graph
+     nodes, so every level's [underlying] (and the ids fed to its election)
+     live in the base space. *)
+  let rec grow acc graph_k assignment_k to_base depth =
+    let head_count = Assignment.cluster_count assignment_k in
+    if depth >= max_levels || head_count <= 1 then List.rev acc
+    else begin
+      let overlay, heads = overlay_of graph_k assignment_k in
+      let underlying = Array.map (fun h -> to_base.(h)) heads in
+      let overlay_ids = Array.map (fun b -> ids.(b)) underlying in
+      let assignment =
+        Algorithm.cluster ~scheduler:Algorithm.Sequential rng config overlay
+          ~ids:overlay_ids
+      in
+      let level = { overlay; underlying; assignment } in
+      (* Stop when a level no longer shrinks the head population (a fixpoint
+         of the abstraction): keeping it would loop forever. *)
+      if Assignment.cluster_count assignment >= head_count then List.rev acc
+      else grow (level :: acc) overlay assignment underlying (depth + 1)
+    end
+  in
+  let identity = Array.init (Graph.node_count graph) Fun.id in
+  let levels = grow [] graph base_assignment identity 0 in
+  { base = graph; base_assignment; levels }
+
+let level_count t = 1 + List.length t.levels
+
+let heads_per_level t =
+  Assignment.cluster_count t.base_assignment
+  :: List.map (fun l -> Assignment.cluster_count l.assignment) t.levels
+
+(* The node's head at each level, bottom-up: level 0 is its radio-level
+   cluster-head; level k+1 is the head of that head in the overlay. *)
+let head_chain t node =
+  let first = Assignment.head t.base_assignment node in
+  let rec climb current levels acc =
+    match levels with
+    | [] -> List.rev acc
+    | level :: rest -> (
+        (* Find the overlay index of the current head. *)
+        let idx = ref (-1) in
+        Array.iteri
+          (fun i h -> if h = current then idx := i)
+          level.underlying;
+        if !idx < 0 then List.rev acc
+        else
+          let next_idx = Assignment.head level.assignment !idx in
+          let next = level.underlying.(next_idx) in
+          climb next rest (next :: acc))
+  in
+  first :: climb first t.levels []
+
+let top_head t node =
+  match List.rev (head_chain t node) with
+  | top :: _ -> top
+  | [] -> node

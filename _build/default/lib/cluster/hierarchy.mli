@@ -1,0 +1,46 @@
+(** Hierarchical clustering — the "hierarchical self-stabilization" the
+    paper's conclusion proposes.
+
+    The density-driven algorithm is iterated on the overlay of
+    cluster-heads: two heads are overlay-adjacent when any radio link joins
+    their clusters. Every level runs the same self-stabilizing election, so
+    the stack stabilizes level by level. Construction stops at a single
+    head, at [max_levels], or when a level stops shrinking the head
+    population. *)
+
+type level = {
+  overlay : Ss_topology.Graph.t;
+  underlying : int array;  (** overlay index -> base-graph node *)
+  assignment : Assignment.t;
+}
+
+type t = {
+  base : Ss_topology.Graph.t;
+  base_assignment : Assignment.t;
+  levels : level list;  (** bottom-up, excluding level 0 *)
+}
+
+val overlay_of :
+  Ss_topology.Graph.t -> Assignment.t -> Ss_topology.Graph.t * int array
+(** The head-overlay graph of one clustered level and the head each overlay
+    node stands for. *)
+
+val build :
+  ?max_levels:int ->
+  ?config:Config.t ->
+  Ss_prng.Rng.t ->
+  Ss_topology.Graph.t ->
+  ids:int array ->
+  t
+
+val level_count : t -> int
+(** Number of clustering levels, the base level included. *)
+
+val heads_per_level : t -> int list
+(** Cluster-head counts, bottom-up. Strictly decreasing by construction. *)
+
+val head_chain : t -> int -> int list
+(** A node's head at each level, bottom-up (level-0 head first). *)
+
+val top_head : t -> int -> int
+(** The node's head at the topmost level. *)

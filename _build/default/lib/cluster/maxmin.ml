@@ -1,0 +1,129 @@
+(* Max-Min d-cluster formation (Amis, Prakash, Vuong, Huynh — INFOCOM 2000),
+   the strongest baseline the paper positions against. Every node floods the
+   maximum id for d rounds, then the minimum of the results for d more
+   rounds, and elects a head from the two logs:
+
+     rule 1: a node that sees its own id among the floodmin results is a
+             head (someone within d hops deferred to it);
+     rule 2: otherwise the smallest "node pair" — an id present in both the
+             floodmax and floodmin logs — is the head;
+     rule 3: otherwise the floodmax winner (max id seen) is the head.
+
+   Heads are at most d hops away from their members. Parent pointers are
+   derived afterwards along shortest paths toward the elected head. *)
+
+module Graph = Ss_topology.Graph
+module Traversal = Ss_topology.Traversal
+
+type logs = {
+  floodmax : int array array; (* per round r (1..d), winner id per node *)
+  floodmin : int array array;
+}
+
+let flood graph ~rounds ~better start =
+  let n = Graph.node_count graph in
+  let current = Array.copy start in
+  let history = Array.make rounds [||] in
+  for r = 0 to rounds - 1 do
+    let next =
+      Array.init n (fun p ->
+          Array.fold_left
+            (fun best q -> if better current.(q) best then current.(q) else best)
+            current.(p) (Graph.neighbors graph p))
+    in
+    Array.blit next 0 current 0 n;
+    history.(r) <- Array.copy current
+  done;
+  (current, history)
+
+let elect_heads graph ~ids ~d =
+  let n = Graph.node_count graph in
+  if Array.length ids <> n then invalid_arg "Maxmin: ids length mismatch";
+  if d < 1 then invalid_arg "Maxmin: d must be >= 1";
+  let wmax, maxlog = flood graph ~rounds:d ~better:(fun a b -> a > b) ids in
+  let _wmin, minlog = flood graph ~rounds:d ~better:(fun a b -> a < b) wmax in
+  let head_id = Array.make n (-1) in
+  for p = 0 to n - 1 do
+    let saw_own_id =
+      Array.exists (fun log -> log.(p) = ids.(p)) minlog
+    in
+    if saw_own_id then head_id.(p) <- ids.(p)
+    else begin
+      (* Node pairs: ids in both logs for p; pick the smallest. *)
+      let in_max v = Array.exists (fun log -> log.(p) = v) maxlog in
+      let best_pair = ref (-1) in
+      Array.iter
+        (fun log ->
+          let v = log.(p) in
+          if in_max v && (!best_pair = -1 || v < !best_pair) then best_pair := v)
+        minlog;
+      if !best_pair >= 0 then head_id.(p) <- !best_pair
+      else head_id.(p) <- maxlog.(d - 1).(p)
+    end
+  done;
+  (head_id, { floodmax = maxlog; floodmin = minlog })
+
+(* Map elected head ids back to node indices and derive parent pointers
+   along shortest paths toward the head. A node whose elected head id does
+   not correspond to a reachable node (possible transiently or under
+   disconnection) becomes its own head. *)
+let to_assignment graph ~ids head_id =
+  let n = Graph.node_count graph in
+  let index_of_id = Hashtbl.create (max 16 n) in
+  Array.iteri (fun p id -> Hashtbl.replace index_of_id id p) ids;
+  let head = Array.make n (-1) in
+  for p = 0 to n - 1 do
+    match Hashtbl.find_opt index_of_id head_id.(p) with
+    | Some h -> head.(p) <- h
+    | None -> head.(p) <- p
+  done;
+  (* A claimed head that does not claim itself is demoted: members follow it
+     to its own head if consistent, else become their own heads. *)
+  for p = 0 to n - 1 do
+    let h = head.(p) in
+    if head.(h) <> h then head.(p) <- p
+  done;
+  (* Parents along shortest paths inside the cluster-induced subgraph, so
+     every parent chain roots at the member's own head. Max-min clusters can
+     be non-contiguous (the head may only be reachable through foreign
+     clusters); members stranded that way detach and head themselves — a
+     small deviation that keeps assignments structurally valid. *)
+  let parent = Array.init n Fun.id in
+  let heads = ref [] in
+  for p = 0 to n - 1 do
+    if head.(p) = p then heads := p :: !heads
+  done;
+  List.iter
+    (fun h ->
+      let in_cluster p = head.(p) = h in
+      let dist = Traversal.bfs_from ~filter:in_cluster graph h in
+      for p = 0 to n - 1 do
+        if in_cluster p && p <> h then begin
+          if dist.(p) = Traversal.unreachable then begin
+            head.(p) <- p;
+            parent.(p) <- p
+          end
+          else begin
+            let nbrs = Graph.neighbors graph p in
+            let best = ref (-1) in
+            Array.iter
+              (fun q ->
+                if head.(q) = h && dist.(q) = dist.(p) - 1 && !best = -1 then
+                  best := q)
+              nbrs;
+            if !best >= 0 then parent.(p) <- !best
+            else begin
+              head.(p) <- p;
+              parent.(p) <- p
+            end
+          end
+        end
+      done)
+    !heads;
+  Assignment.make ~parent ~head
+
+let run graph ~ids ~d =
+  let head_id, logs = elect_heads graph ~ids ~d in
+  (to_assignment graph ~ids head_id, logs)
+
+let cluster graph ~ids ~d = fst (run graph ~ids ~d)

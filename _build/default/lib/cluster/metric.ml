@@ -1,0 +1,32 @@
+(* The clustering framework is generic in the node-importance metric: the
+   paper's contribution uses density, and its related work compares against
+   degree-based and lowest-id clustering. All three fit the same
+   "join the locally maximal neighbor" heuristic with different values, as
+   the paper notes in its conclusion ("our contribution regarding the
+   self-stabilization could be applied to several clusterization
+   metrics"). *)
+
+type t =
+  | Density
+  | Degree
+  | Uniform
+
+let value metric graph p =
+  match metric with
+  | Density -> Density.compute graph p
+  | Degree -> Density.make ~links:(Ss_topology.Graph.degree graph p) ~nodes:1
+  | Uniform -> Density.make ~links:0 ~nodes:1
+
+let value_all metric graph =
+  match metric with
+  | Density -> Density.compute_all graph
+  | Degree | Uniform ->
+      Array.init (Ss_topology.Graph.node_count graph) (fun p ->
+          value metric graph p)
+
+let to_string = function
+  | Density -> "density"
+  | Degree -> "degree"
+  | Uniform -> "lowest-id"
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,19 @@
+(** Node-importance metrics for cluster-head election.
+
+    [Density] is the paper's metric; [Degree] (highest connectivity wins)
+    and [Uniform] (every value equal, so the id tie-break decides: lowest-id
+    clustering) are the classic baselines the paper positions against. *)
+
+type t =
+  | Density
+  | Degree
+  | Uniform
+
+val value : t -> Ss_topology.Graph.t -> int -> Density.t
+(** Metric value of a node, expressed as a rational so all metrics share the
+    comparison logic. *)
+
+val value_all : t -> Ss_topology.Graph.t -> Density.t array
+
+val to_string : t -> string
+val pp : t Fmt.t

@@ -1,0 +1,51 @@
+(* The binary total order ≺ of Section 4.2 and its Section 4.3 refinement.
+
+   Basic:     p ≺ q  iff  d_p < d_q, or d_p = d_q and Id_q < Id_p
+              (higher density wins; at equal density the smaller identifier
+              wins).
+
+   Incumbent: at equal density a current cluster-head beats a non-head, and
+              ids break the remaining ties. The paper's formula leaves two
+              equal-density incumbents incomparable; we complete the order
+              with the id rule in that case so that max≺ stays defined
+              (documented deviation, required for totality). *)
+
+type tie =
+  | Id_only
+  | Incumbent_then_id
+
+type key = { value : Density.t; id : int; incumbent : bool }
+
+let key ~value ~id ~incumbent = { value; id; incumbent }
+
+let compare ~tie a b =
+  let c = Density.compare a.value b.value in
+  if c <> 0 then c
+  else
+    let id_rule () = Int.compare b.id a.id in
+    match tie with
+    | Id_only -> id_rule ()
+    | Incumbent_then_id -> (
+        match (a.incumbent, b.incumbent) with
+        | true, false -> 1
+        | false, true -> -1
+        | true, true | false, false -> id_rule ())
+
+let precedes ~tie a b = compare ~tie a b < 0
+
+let max_key ~tie keys =
+  match keys with
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun best k -> if compare ~tie k best > 0 then k else best)
+           first rest)
+
+let pp_tie ppf = function
+  | Id_only -> Fmt.string ppf "id"
+  | Incumbent_then_id -> Fmt.string ppf "incumbent-then-id"
+
+let pp_key ppf k =
+  Fmt.pf ppf "{d=%a; id=%d%s}" Density.pp k.value k.id
+    (if k.incumbent then "; head" else "")

@@ -1,0 +1,1 @@
+lib/engine/engine.mli: Protocol Scheduler Ss_prng Ss_radio Ss_topology

@@ -1,0 +1,1 @@
+lib/engine/fault.ml: Array List Ss_prng

@@ -1,0 +1,1 @@
+lib/engine/protocol.ml: Ss_prng Ss_topology

@@ -1,0 +1,99 @@
+module Graph = Ss_topology.Graph
+module Channel = Ss_radio.Channel
+module Rng = Ss_prng.Rng
+
+type fault_report = { corrupted : int list }
+
+type round_info = { round : int; changed : int }
+
+module Make (P : Protocol.S) = struct
+  type run = {
+    states : P.state array;
+    rounds : int; (* rounds actually executed *)
+    converged : bool;
+    last_change_round : int; (* 0 if nothing ever changed *)
+    change_history : int list; (* per-round changed-node counts, oldest first *)
+  }
+
+  let gather_messages deliver graph states p =
+    (* Frames received by node p this step: one per neighbor, each surviving
+       the round's channel plan. *)
+    let acc = ref [] in
+    let nbrs = Graph.neighbors graph p in
+    for i = Array.length nbrs - 1 downto 0 do
+      let q = nbrs.(i) in
+      if deliver ~src:q ~dst:p then
+        acc := (q, P.emit graph q states.(q)) :: !acc
+    done;
+    !acc
+
+  let step_round rng graph channel scheduler states =
+    let n = Array.length states in
+    let changed = ref 0 in
+    (* One delivery plan per round: slotted channels draw their slot
+       assignment here, so all receivers of the round see consistent
+       collisions. *)
+    let deliver = Channel.round_plan channel rng ~graph in
+    let update_node snapshot p =
+      let msgs = gather_messages deliver graph snapshot p in
+      let next = P.handle rng graph p states.(p) msgs in
+      if not (P.equal_state next states.(p)) then incr changed;
+      states.(p) <- next
+    in
+    (match scheduler with
+    | Scheduler.Synchronous ->
+        (* Everyone broadcasts from the pre-round snapshot. *)
+        let snapshot = Array.copy states in
+        for p = 0 to n - 1 do
+          update_node snapshot p
+        done
+    | Scheduler.Sequential ->
+        for p = 0 to n - 1 do
+          update_node states p
+        done
+    | Scheduler.Random_order ->
+        let order = Rng.permutation rng n in
+        Array.iter (fun p -> update_node states p) order);
+    !changed
+
+  let init_states rng graph =
+    Array.init (Graph.node_count graph) (fun p -> P.init rng graph p)
+
+  let run ?(scheduler = Scheduler.Synchronous) ?(channel = Channel.perfect)
+      ?(max_rounds = 10_000) ?(quiet_rounds = 1) ?fault ?on_round ?states rng
+      graph =
+    if max_rounds < 0 then invalid_arg "Engine.run: negative round budget";
+    if quiet_rounds < 1 then invalid_arg "Engine.run: quiet_rounds must be >= 1";
+    let states =
+      match states with Some s -> s | None -> init_states rng graph
+    in
+    let quiet = ref 0 in
+    let round = ref 0 in
+    let last_change = ref 0 in
+    let history = ref [] in
+    while !quiet < quiet_rounds && !round < max_rounds do
+      incr round;
+      let faulted =
+        match fault with
+        | None -> false
+        | Some inject -> inject ~round:!round ~states rng
+      in
+      let changed = step_round rng graph channel scheduler states in
+      history := changed :: !history;
+      (match on_round with
+      | None -> ()
+      | Some f -> f { round = !round; changed });
+      if changed > 0 || faulted then begin
+        quiet := 0;
+        last_change := !round
+      end
+      else incr quiet
+    done;
+    {
+      states;
+      rounds = !round;
+      converged = !quiet >= quiet_rounds;
+      last_change_round = !last_change;
+      change_history = List.rev !history;
+    }
+end

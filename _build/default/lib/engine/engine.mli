@@ -1,0 +1,47 @@
+(** Round-based executor for shared-variable protocols.
+
+    One round is the paper's step Δ(τ): every node locally broadcasts its
+    shared variables once and processes the frames that survive the channel.
+    The executor detects fixpoints, counts stabilization rounds, and lets a
+    fault hook corrupt states mid-run (the self-stabilization experiments). *)
+
+type round_info = { round : int; changed : int }
+
+type fault_report = { corrupted : int list }
+
+module Make (P : Protocol.S) : sig
+  type run = {
+    states : P.state array;
+    rounds : int;  (** rounds executed, including the final quiet ones *)
+    converged : bool;  (** true when the quiet-round target was reached *)
+    last_change_round : int;
+        (** the paper's stabilization time in steps: the last round in which
+            any node's state changed (0 when already stable) *)
+    change_history : int list;
+        (** changed-node count per round, oldest first *)
+  }
+
+  val init_states :
+    Ss_prng.Rng.t -> Ss_topology.Graph.t -> P.state array
+  (** One [P.init] per node. *)
+
+  val run :
+    ?scheduler:Scheduler.t ->
+    ?channel:Ss_radio.Channel.t ->
+    ?max_rounds:int ->
+    ?quiet_rounds:int ->
+    ?fault:(round:int -> states:P.state array -> Ss_prng.Rng.t -> bool) ->
+    ?on_round:(round_info -> unit) ->
+    ?states:P.state array ->
+    Ss_prng.Rng.t ->
+    Ss_topology.Graph.t ->
+    run
+  (** Execute rounds until [quiet_rounds] consecutive rounds change no state
+      (and inject no fault), or until [max_rounds]. [fault] runs before each
+      round's communication; it may mutate the state array in place and must
+      return whether it did (to reset quiet counting). [states] warm-starts
+      from a previous run (used by mobility experiments and fault recovery).
+
+      Defaults: synchronous scheduler, perfect channel, 10000 rounds max,
+      one quiet round. *)
+end

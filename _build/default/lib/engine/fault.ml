@@ -1,0 +1,38 @@
+(* Fault plans for self-stabilization experiments: transient corruption of a
+   subset of node states at chosen rounds. The corruption function is
+   supplied by the protocol under test (it knows how to scramble its own
+   state). *)
+
+type 'state t = {
+  schedule : (int * int) list; (* (round, how many nodes to corrupt) *)
+  corrupt : Ss_prng.Rng.t -> int -> 'state -> 'state;
+}
+
+let make ~schedule ~corrupt =
+  List.iter
+    (fun (round, count) ->
+      if round < 1 then invalid_arg "Fault.make: rounds start at 1";
+      if count < 0 then invalid_arg "Fault.make: negative corruption count")
+    schedule;
+  { schedule; corrupt }
+
+let at_round ~round ~count ~corrupt = make ~schedule:[ (round, count) ] ~corrupt
+
+let inject t ~round ~states rng =
+  match List.assoc_opt round t.schedule with
+  | None -> false
+  | Some count ->
+      let n = Array.length states in
+      let count = min count n in
+      if count = 0 then false
+      else begin
+        (* Corrupt a uniform sample of distinct nodes. *)
+        let victims = Ss_prng.Rng.permutation rng n in
+        for i = 0 to count - 1 do
+          let p = victims.(i) in
+          states.(p) <- t.corrupt rng p states.(p)
+        done;
+        true
+      end
+
+let hook t = fun ~round ~states rng -> inject t ~round ~states rng

@@ -1,0 +1,30 @@
+(** Transient-fault injection plans.
+
+    Self-stabilization promises recovery from {e arbitrary} transient state
+    corruption; these plans scramble a random subset of node states at given
+    rounds so experiments can measure the recovery time. *)
+
+type 'state t
+
+val make :
+  schedule:(int * int) list ->
+  corrupt:(Ss_prng.Rng.t -> int -> 'state -> 'state) ->
+  'state t
+(** [schedule] lists [(round, node_count)] pairs; [corrupt rng p st] returns
+    the scrambled state for node [p]. *)
+
+val at_round :
+  round:int ->
+  count:int ->
+  corrupt:(Ss_prng.Rng.t -> int -> 'state -> 'state) ->
+  'state t
+(** Single burst of corruption. *)
+
+val inject :
+  'state t -> round:int -> states:'state array -> Ss_prng.Rng.t -> bool
+(** Apply the plan for this round (mutates [states]); returns whether any
+    state was corrupted. *)
+
+val hook :
+  'state t -> round:int -> states:'state array -> Ss_prng.Rng.t -> bool
+(** The plan as an [Engine.run ~fault] argument. *)

@@ -1,0 +1,32 @@
+(* The execution model of Section 4: every node repeatedly evaluates its
+   guarded assignments; shared variables are broadcast each step and cached
+   by neighbors. A protocol packages the per-node state, the frame it
+   broadcasts each step, and the guarded-assignment body run on reception. *)
+
+module type S = sig
+  type state
+
+  type message
+
+  val init : Ss_prng.Rng.t -> Ss_topology.Graph.t -> int -> state
+  (** Initial state of a node (may be arbitrary for self-stabilization
+      experiments; protocols must not rely on it being clean). *)
+
+  val emit : Ss_topology.Graph.t -> int -> state -> message
+  (** The frame locally broadcast by the node in each step — the values of
+      its shared variables. *)
+
+  val handle :
+    Ss_prng.Rng.t ->
+    Ss_topology.Graph.t ->
+    int ->
+    state ->
+    (int * message) list ->
+    state
+  (** One step: execute all enabled guarded assignments given the frames
+      received this step (sender id paired with each frame). Must be a pure
+      function of its arguments plus the supplied generator. *)
+
+  val equal_state : state -> state -> bool
+  (** Used for fixpoint detection. *)
+end

@@ -1,0 +1,9 @@
+type t =
+  | Synchronous
+  | Sequential
+  | Random_order
+
+let pp ppf = function
+  | Synchronous -> Fmt.string ppf "synchronous"
+  | Sequential -> Fmt.string ppf "sequential"
+  | Random_order -> Fmt.string ppf "random-order"

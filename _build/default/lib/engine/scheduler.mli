@@ -1,0 +1,16 @@
+(** Execution schedules for one step.
+
+    - [Synchronous]: all nodes broadcast from their pre-step states, then all
+      update — the paper's Δ(τ) step semantics used for step counting.
+    - [Sequential]: nodes update one at a time in index order, each seeing
+      the latest states of already-updated neighbors (central daemon).
+    - [Random_order]: sequential under a fresh uniform permutation per step —
+      a randomized daemon; breaks the symmetric oscillations that a
+      synchronous schedule can sustain. *)
+
+type t =
+  | Synchronous
+  | Sequential
+  | Random_order
+
+val pp : t Fmt.t

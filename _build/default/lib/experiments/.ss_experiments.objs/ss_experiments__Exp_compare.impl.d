@@ -1,0 +1,1 @@
+lib/experiments/exp_compare.ml: List Printf Runner Ss_cluster Ss_geom Ss_mobility Ss_prng Ss_stats Ss_topology

@@ -1,0 +1,1 @@
+lib/experiments/exp_compare.mli: Ss_cluster Ss_mobility Ss_prng Ss_stats Ss_topology

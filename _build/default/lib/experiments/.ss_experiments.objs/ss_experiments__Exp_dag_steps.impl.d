@@ -1,0 +1,1 @@
+lib/experiments/exp_dag_steps.ml: List Runner Scenario Ss_cluster Ss_stats Ss_topology

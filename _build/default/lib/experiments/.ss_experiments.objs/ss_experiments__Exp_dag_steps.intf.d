@@ -1,0 +1,1 @@
+lib/experiments/exp_dag_steps.mli: Scenario Ss_cluster Ss_stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_energy.ml: List Runner Scenario Ss_cluster Ss_prng Ss_stats Ss_topology

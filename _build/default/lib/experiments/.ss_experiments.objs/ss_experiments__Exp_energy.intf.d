@@ -1,0 +1,1 @@
+lib/experiments/exp_energy.mli: Scenario Ss_stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_example.ml: Array Fmt List Ss_cluster Ss_prng Ss_stats Ss_topology

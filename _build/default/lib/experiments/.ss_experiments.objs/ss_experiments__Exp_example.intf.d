@@ -1,0 +1,1 @@
+lib/experiments/exp_example.mli: Ss_stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_features.ml: List Option Printf Runner Scenario Ss_cluster Ss_stats Ss_topology

@@ -1,0 +1,1 @@
+lib/experiments/exp_features.mli: Scenario Ss_cluster Ss_stats

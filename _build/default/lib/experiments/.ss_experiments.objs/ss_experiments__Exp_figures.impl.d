@@ -1,0 +1,1 @@
+lib/experiments/exp_figures.ml: Filename Fmt List Scenario Ss_cluster Ss_prng Ss_viz Sys

@@ -1,0 +1,1 @@
+lib/experiments/exp_hierarchy.ml: Array List Printf Runner Scenario Ss_cluster Ss_stats Ss_topology

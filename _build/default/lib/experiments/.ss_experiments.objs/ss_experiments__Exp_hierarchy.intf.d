@@ -1,0 +1,1 @@
+lib/experiments/exp_hierarchy.mli: Ss_stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_link_failure.ml: Array List Printf Runner Scenario Ss_cluster Ss_prng Ss_stats Ss_topology

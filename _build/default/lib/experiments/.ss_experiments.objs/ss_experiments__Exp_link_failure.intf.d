@@ -1,0 +1,1 @@
+lib/experiments/exp_link_failure.mli: Scenario Ss_prng Ss_stats Ss_topology

@@ -1,0 +1,1 @@
+lib/experiments/exp_mobility.mli: Ss_cluster Ss_mobility Ss_prng Ss_stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_mobility_bounds.ml: Array List Printf Runner Ss_cluster Ss_geom Ss_mobility Ss_prng Ss_stats Ss_topology

@@ -1,0 +1,1 @@
+lib/experiments/exp_mobility_bounds.mli: Ss_stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_schedule.ml: Array Fun List Runner Scenario Ss_cluster Ss_engine Ss_prng Ss_stats Ss_topology

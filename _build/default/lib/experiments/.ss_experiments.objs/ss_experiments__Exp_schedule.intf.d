@@ -1,0 +1,1 @@
+lib/experiments/exp_schedule.mli: Scenario Ss_stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_selfstab.ml: Array List Printf Runner Scenario Ss_cluster Ss_engine Ss_prng Ss_radio Ss_stats Ss_topology

@@ -1,0 +1,1 @@
+lib/experiments/exp_selfstab.mli: Scenario Ss_stats

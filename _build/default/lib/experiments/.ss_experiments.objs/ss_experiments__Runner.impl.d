@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: List Ss_prng Ss_stats

@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Ss_prng Ss_stats

@@ -1,0 +1,1 @@
+lib/experiments/scenario.ml: Array Fmt Fun Ss_geom Ss_prng Ss_topology

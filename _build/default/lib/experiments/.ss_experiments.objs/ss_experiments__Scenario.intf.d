@@ -1,0 +1,1 @@
+lib/experiments/scenario.mli: Fmt Ss_prng Ss_topology

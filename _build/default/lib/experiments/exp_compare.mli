@@ -1,0 +1,49 @@
+(** Experiment A2 (ablation): head stability under mobility of the density
+    metric versus degree, lowest-id and max-min d-cluster. *)
+
+type algorithm =
+  | Heuristic of Ss_cluster.Metric.t
+  | Maxmin_d of int
+
+val default_algorithms : algorithm list
+(** density, degree, lowest-id, max-min (d=2). *)
+
+val cluster_with :
+  Ss_prng.Rng.t ->
+  algorithm ->
+  Ss_topology.Graph.t ->
+  ids:int array ->
+  Ss_cluster.Assignment.t
+(** One clustering under the given algorithm (sequential schedule for the
+    heuristics). *)
+
+type result = {
+  algorithm : string;
+  retention : Ss_stats.Summary.t;
+  clusters : Ss_stats.Summary.t;
+}
+
+val run :
+  ?seed:int ->
+  ?runs:int ->
+  ?count:int ->
+  ?radius:float ->
+  ?model:Ss_mobility.Model.t ->
+  ?epoch:float ->
+  ?epochs:int ->
+  ?algorithms:algorithm list ->
+  unit ->
+  result list
+
+val to_table : ?title:string -> result list -> Ss_stats.Table.t
+
+val print :
+  ?seed:int ->
+  ?runs:int ->
+  ?count:int ->
+  ?radius:float ->
+  ?model:Ss_mobility.Model.t ->
+  ?epoch:float ->
+  ?epochs:int ->
+  unit ->
+  unit

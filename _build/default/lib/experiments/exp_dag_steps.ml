@@ -1,0 +1,61 @@
+(* Experiment T3 (Table 3): mean number of steps to build the DAG of local
+   names over a 1000-node grid and a Poisson(1000) deployment, for
+   transmission ranges 0.05 .. 0.1, with the paper's gamma = delta^2. *)
+
+module Graph = Ss_topology.Graph
+module Dag_id = Ss_cluster.Dag_id
+module Gamma = Ss_cluster.Gamma
+module Table = Ss_stats.Table
+module Summary = Ss_stats.Summary
+
+let default_radii = [ 0.05; 0.06; 0.07; 0.08; 0.09; 0.1 ]
+
+type row = { scenario : string; radius : float; steps : Summary.t }
+
+let measure ?(gamma_spec = Gamma.delta_sq) ~seed ~runs spec =
+  Runner.summarize ~seed ~runs (fun rng ->
+      let world = Scenario.build rng spec in
+      let result =
+        Dag_id.build_spec rng world.Scenario.graph ~ids:world.Scenario.ids
+          ~gamma_spec
+      in
+      float_of_int result.Dag_id.steps)
+
+let run ?(seed = 42) ?(runs = 30) ?(intensity = 1000.0)
+    ?(radii = default_radii) () =
+  let grid_rows =
+    List.map
+      (fun radius ->
+        let spec = Scenario.grid ~radius () in
+        { scenario = "grid"; radius; steps = measure ~seed ~runs spec })
+      radii
+  in
+  let random_rows =
+    List.map
+      (fun radius ->
+        let spec = Scenario.poisson ~intensity ~radius () in
+        {
+          scenario = "random geometry";
+          radius;
+          steps = measure ~seed ~runs spec;
+        })
+      radii
+  in
+  (grid_rows, random_rows)
+
+let to_table ?(title = "Table 3 — steps to build the DAG (gamma = delta^2)")
+    (grid_rows, random_rows) =
+  let radii = List.map (fun r -> r.radius) grid_rows in
+  let header =
+    "R" :: List.map (fun r -> Table.cell_float ~decimals:2 r) radii
+  in
+  let t = Table.create ~title ~header () in
+  let line label rows =
+    label
+    :: List.map (fun r -> Table.cell_float ~decimals:2 (Summary.mean r.steps)) rows
+  in
+  let t = Table.add_row t (line "Grid" grid_rows) in
+  Table.add_row t (line "Random geometry" random_rows)
+
+let print ?seed ?runs ?intensity ?radii () =
+  Table.print (to_table (run ?seed ?runs ?intensity ?radii ()))

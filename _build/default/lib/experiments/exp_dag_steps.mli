@@ -1,0 +1,33 @@
+(** Experiment T3 (Table 3): steps needed by algorithm N1 to build the DAG
+    of locally-unique names, on the paper's grid and random deployments. *)
+
+type row = {
+  scenario : string;
+  radius : float;
+  steps : Ss_stats.Summary.t;
+}
+
+val default_radii : float list
+(** The paper's sweep: 0.05 to 0.1. *)
+
+val measure :
+  ?gamma_spec:Ss_cluster.Gamma.t ->
+  seed:int ->
+  runs:int ->
+  Scenario.spec ->
+  Ss_stats.Summary.t
+(** Mean steps for one scenario. *)
+
+val run :
+  ?seed:int ->
+  ?runs:int ->
+  ?intensity:float ->
+  ?radii:float list ->
+  unit ->
+  row list * row list
+(** Grid rows and random-geometry rows. *)
+
+val to_table : ?title:string -> row list * row list -> Ss_stats.Table.t
+
+val print :
+  ?seed:int -> ?runs:int -> ?intensity:float -> ?radii:float list -> unit -> unit

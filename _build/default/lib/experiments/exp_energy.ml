@@ -1,0 +1,65 @@
+(* Extension experiment E1: energy-constrained organization (the paper's
+   conclusion names energy awareness as future work). Compares network
+   lifetime under the plain density election versus the energy-aware
+   election of Cluster.Energy: epochs until the first death and until half
+   the network is dead, plus how often the head set rotates. *)
+
+module Graph = Ss_topology.Graph
+module Rng = Ss_prng.Rng
+module Energy = Ss_cluster.Energy
+module Table = Ss_stats.Table
+module Summary = Ss_stats.Summary
+
+type row = {
+  label : string;
+  first_death : Summary.t;
+  half_dead : Summary.t;
+  head_changes : Summary.t;
+}
+
+let measure ~seed ~runs ~spec ~energy_aware =
+  let first_death = Summary.create () in
+  let half_dead = Summary.create () in
+  let head_changes = Summary.create () in
+  Runner.replicate ~seed ~runs (fun ~run rng ->
+      ignore run;
+      let world = Scenario.build rng spec in
+      let lifetime =
+        Energy.simulate_lifetime ~energy_aware rng world.Scenario.graph
+          ~ids:world.Scenario.ids
+      in
+      Summary.add_int first_death lifetime.Energy.epochs_to_first_death;
+      Summary.add_int half_dead lifetime.Energy.epochs_to_half_dead;
+      Summary.add_int head_changes lifetime.Energy.total_head_changes)
+  |> ignore;
+  { label = ""; first_death; half_dead; head_changes }
+
+let run ?(seed = 42) ?(runs = 5)
+    ?(spec = Scenario.poisson ~intensity:200.0 ~radius:0.12 ()) () =
+  [
+    { (measure ~seed ~runs ~spec ~energy_aware:true) with
+      label = "energy-aware election" };
+    { (measure ~seed ~runs ~spec ~energy_aware:false) with
+      label = "plain density election" };
+  ]
+
+let to_table ?(title = "Energy — network lifetime in duty epochs") rows =
+  let t =
+    Table.create ~title
+      ~header:
+        [ "election"; "first death"; "half the network dead"; "head rotations" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  Table.add_rows t
+    (List.map
+       (fun r ->
+         [
+           r.label;
+           Table.cell_float ~decimals:1 (Summary.mean r.first_death);
+           Table.cell_float ~decimals:1 (Summary.mean r.half_dead);
+           Table.cell_float ~decimals:1 (Summary.mean r.head_changes);
+         ])
+       rows)
+
+let print ?seed ?runs ?spec () = Table.print (to_table (run ?seed ?runs ?spec ()))

@@ -1,0 +1,17 @@
+(** Extension experiment E1: network lifetime with and without the
+    energy-aware election (paper future work). Expected shape: the
+    energy-aware variant delays both the first death and network half-life
+    by rotating head duty. *)
+
+type row = {
+  label : string;
+  first_death : Ss_stats.Summary.t;
+  half_dead : Ss_stats.Summary.t;
+  head_changes : Ss_stats.Summary.t;
+}
+
+val run :
+  ?seed:int -> ?runs:int -> ?spec:Scenario.spec -> unit -> row list
+
+val to_table : ?title:string -> row list -> Ss_stats.Table.t
+val print : ?seed:int -> ?runs:int -> ?spec:Scenario.spec -> unit -> unit

@@ -1,0 +1,9 @@
+(** Experiment T1/F1: the paper's worked example (Figure 1 / Table 1). *)
+
+type result = {
+  table : Ss_stats.Table.t;
+  clusters : (string * string list) list;
+}
+
+val run : unit -> result
+val print : unit -> unit

@@ -1,0 +1,110 @@
+(* Experiments T4 and T5 (Tables 4 and 5): cluster features — number of
+   clusters, mean cluster-head eccentricity e(H(u)/C(u)) and mean
+   clusterization tree length — with and without the DAG of local names,
+   on the random-geometry deployment (T4) and on the adversarial row-major
+   grid (T5). *)
+
+module Graph = Ss_topology.Graph
+module Config = Ss_cluster.Config
+module Algorithm = Ss_cluster.Algorithm
+module Metrics = Ss_cluster.Metrics
+module Table = Ss_stats.Table
+module Summary = Ss_stats.Summary
+
+let default_radii = [ 0.05; 0.08; 0.1 ]
+
+type cell = {
+  clusters : Summary.t;
+  eccentricity : Summary.t;
+  tree_length : Summary.t;
+  stabilization_rounds : Summary.t;
+}
+
+type row = { radius : float; with_dag : cell; without_dag : cell }
+
+let fields = [ "clusters"; "ecc"; "tree"; "rounds" ]
+
+let measure_cell ~seed ~runs ~config spec =
+  let summaries =
+    Runner.summarize_fields ~seed ~runs fields (fun rng ->
+        let world = Scenario.build rng spec in
+        let outcome =
+          Algorithm.run rng config world.Scenario.graph ~ids:world.Scenario.ids
+        in
+        let assignment = outcome.Algorithm.assignment in
+        let graph = world.Scenario.graph in
+        [
+          ("clusters", float_of_int (Metrics.cluster_count assignment));
+          ( "ecc",
+            Option.value ~default:0.0
+              (Metrics.mean_head_eccentricity graph assignment) );
+          ( "tree",
+            Option.value ~default:0.0 (Metrics.mean_tree_length assignment) );
+          ("rounds", float_of_int outcome.Algorithm.rounds);
+        ])
+  in
+  let get name = List.assoc name summaries in
+  {
+    clusters = get "clusters";
+    eccentricity = get "ecc";
+    tree_length = get "tree";
+    stabilization_rounds = get "rounds";
+  }
+
+let measure_row ~seed ~runs ~spec_of radius =
+  let spec = spec_of radius in
+  {
+    radius;
+    with_dag = measure_cell ~seed ~runs ~config:Config.with_dag spec;
+    without_dag = measure_cell ~seed ~runs ~config:Config.basic spec;
+  }
+
+let run_random ?(seed = 42) ?(runs = 30) ?(intensity = 1000.0)
+    ?(radii = default_radii) () =
+  List.map
+    (measure_row ~seed ~runs ~spec_of:(fun radius ->
+         Scenario.poisson ~intensity ~radius ()))
+    radii
+
+let run_grid ?(seed = 42) ?(runs = 30) ?(radii = default_radii) () =
+  List.map
+    (measure_row ~seed ~runs ~spec_of:(fun radius -> Scenario.grid ~radius ()))
+    radii
+
+let to_table ~title rows =
+  let header =
+    "R"
+    :: List.concat_map
+         (fun r ->
+           let tag = Printf.sprintf "R=%.2f" r.radius in
+           [ tag ^ " DAG"; tag ^ " no-DAG" ])
+         rows
+  in
+  let t = Table.create ~title ~header () in
+  let line label select decimals =
+    label
+    :: List.concat_map
+         (fun r ->
+           [
+             Table.cell_float ~decimals (Summary.mean (select r.with_dag));
+             Table.cell_float ~decimals (Summary.mean (select r.without_dag));
+           ])
+         rows
+  in
+  let t = Table.add_row t (line "# clusters" (fun c -> c.clusters) 1) in
+  let t = Table.add_row t (line "e(H(u)/C(u))" (fun c -> c.eccentricity) 1) in
+  let t = Table.add_row t (line "avg tree length" (fun c -> c.tree_length) 1) in
+  Table.add_row t
+    (line "stabilization rounds" (fun c -> c.stabilization_rounds) 1)
+
+let print_random ?seed ?runs ?intensity ?radii () =
+  Table.print
+    (to_table ~title:"Table 4 — cluster features on a random geometric graph"
+       (run_random ?seed ?runs ?intensity ?radii ()))
+
+let print_grid ?seed ?runs ?radii () =
+  Table.print
+    (to_table
+       ~title:
+         "Table 5 — cluster features on a grid with adversarial (row-major) ids"
+       (run_grid ?seed ?runs ?radii ()))

@@ -1,0 +1,35 @@
+(** Experiments T4/T5 (Tables 4 and 5): cluster features with and without
+    the DAG of local names, on random geometric graphs and on the
+    adversarial grid. *)
+
+type cell = {
+  clusters : Ss_stats.Summary.t;
+  eccentricity : Ss_stats.Summary.t;
+  tree_length : Ss_stats.Summary.t;
+  stabilization_rounds : Ss_stats.Summary.t;
+}
+
+type row = { radius : float; with_dag : cell; without_dag : cell }
+
+val default_radii : float list
+(** The paper's columns: 0.05, 0.08, 0.1. *)
+
+val measure_cell :
+  seed:int -> runs:int -> config:Ss_cluster.Config.t -> Scenario.spec -> cell
+
+val run_random :
+  ?seed:int ->
+  ?runs:int ->
+  ?intensity:float ->
+  ?radii:float list ->
+  unit ->
+  row list
+
+val run_grid : ?seed:int -> ?runs:int -> ?radii:float list -> unit -> row list
+
+val to_table : title:string -> row list -> Ss_stats.Table.t
+
+val print_random :
+  ?seed:int -> ?runs:int -> ?intensity:float -> ?radii:float list -> unit -> unit
+
+val print_grid : ?seed:int -> ?runs:int -> ?radii:float list -> unit -> unit

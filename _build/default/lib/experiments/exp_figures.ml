@@ -1,0 +1,59 @@
+(* Figures F1-F3: renderings of the clustering outcomes.
+
+   Figure 1: the worked example (printed as text clusters; it has no
+   geometric layout in our reconstruction).
+   Figure 2: the 32x32 grid with row-major ids and no DAG — one giant,
+   snaking cluster.
+   Figure 3: the same grid with DAG names — many compact clusters. *)
+
+module Config = Ss_cluster.Config
+module Algorithm = Ss_cluster.Algorithm
+module Metrics = Ss_cluster.Metrics
+module Svg = Ss_viz.Svg
+module Ascii = Ss_viz.Ascii
+
+type figure = {
+  name : string;
+  svg : string;
+  ascii : string;
+  summary : Ss_cluster.Metrics.summary;
+}
+
+let grid_figure ~name ~config ~seed ~radius =
+  let rng = Ss_prng.Rng.create ~seed in
+  let world = Scenario.build rng (Scenario.grid ~radius ()) in
+  let outcome =
+    Algorithm.run rng config world.Scenario.graph ~ids:world.Scenario.ids
+  in
+  let assignment = outcome.Algorithm.assignment in
+  {
+    name;
+    svg = Svg.render_exn world.Scenario.graph assignment;
+    ascii = Ascii.render_exn ~width:64 ~height:32 world.Scenario.graph assignment;
+    summary = Metrics.summarize world.Scenario.graph assignment;
+  }
+
+let figure2 ?(seed = 42) ?(radius = 0.05) () =
+  grid_figure ~name:"figure2-grid-no-dag" ~config:Config.basic ~seed ~radius
+
+let figure3 ?(seed = 42) ?(radius = 0.05) () =
+  grid_figure ~name:"figure3-grid-with-dag" ~config:Config.with_dag ~seed
+    ~radius
+
+let write_to_dir ~dir figures =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.map
+    (fun fig ->
+      let path = Filename.concat dir (fig.name ^ ".svg") in
+      Svg.write_file path fig.svg;
+      path)
+    figures
+
+let print ?(dir = "figures") () =
+  let figures = [ figure2 (); figure3 () ] in
+  let paths = write_to_dir ~dir figures in
+  List.iter2
+    (fun fig path ->
+      Fmt.pr "%s (%a)@.%s@.written to %s@.@." fig.name
+        Ss_cluster.Metrics.pp_summary fig.summary fig.ascii path)
+    figures paths

@@ -1,0 +1,20 @@
+(** Figures F2/F3: SVG and ASCII renderings of the grid clusterings with and
+    without the DAG of names (the paper's Figure 2 and Figure 3). *)
+
+type figure = {
+  name : string;
+  svg : string;
+  ascii : string;
+  summary : Ss_cluster.Metrics.summary;
+}
+
+val figure2 : ?seed:int -> ?radius:float -> unit -> figure
+(** Grid, row-major ids, no DAG: one giant cluster. *)
+
+val figure3 : ?seed:int -> ?radius:float -> unit -> figure
+(** Grid with DAG names: many compact clusters. *)
+
+val write_to_dir : dir:string -> figure list -> string list
+(** Write the SVGs; returns the paths. *)
+
+val print : ?dir:string -> unit -> unit

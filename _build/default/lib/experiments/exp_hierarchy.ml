@@ -1,0 +1,70 @@
+(* Extension experiment H1: hierarchical self-organization (paper future
+   work). Builds the recursive head-overlay hierarchy and reports the head
+   population per level for several deployment intensities — the shrinking
+   factor per level is what makes hierarchical routing scale. *)
+
+module Graph = Ss_topology.Graph
+module Hierarchy = Ss_cluster.Hierarchy
+module Table = Ss_stats.Table
+module Summary = Ss_stats.Summary
+
+type row = {
+  intensity : float;
+  nodes : Summary.t;
+  per_level : Summary.t array; (* heads at each level, up to max_levels *)
+  levels : Summary.t;
+}
+
+let max_levels = 5
+
+let measure ~seed ~runs ~radius intensity =
+  let nodes = Summary.create () in
+  let levels = Summary.create () in
+  let per_level = Array.init max_levels (fun _ -> Summary.create ()) in
+  Runner.replicate ~seed ~runs (fun ~run rng ->
+      ignore run;
+      let world =
+        Scenario.build rng (Scenario.poisson ~intensity ~radius ())
+      in
+      let h =
+        Hierarchy.build ~max_levels rng world.Scenario.graph
+          ~ids:world.Scenario.ids
+      in
+      Summary.add_int nodes (Graph.node_count world.Scenario.graph);
+      Summary.add_int levels (Hierarchy.level_count h);
+      List.iteri
+        (fun i count ->
+          if i < max_levels then Summary.add_int per_level.(i) count)
+        (Hierarchy.heads_per_level h))
+  |> ignore;
+  { intensity; nodes; per_level; levels }
+
+let run ?(seed = 42) ?(runs = 10) ?(radius = 0.1)
+    ?(intensities = [ 250.0; 500.0; 1000.0 ]) () =
+  List.map (measure ~seed ~runs ~radius) intensities
+
+let to_table ?(title = "Hierarchy — cluster-heads per level") rows =
+  let headers =
+    [ "lambda"; "nodes" ]
+    @ List.init max_levels (fun i -> Printf.sprintf "level %d" i)
+    @ [ "levels" ]
+  in
+  let t = Table.create ~title ~header:headers () in
+  Table.add_rows t
+    (List.map
+       (fun r ->
+         [
+           Table.cell_float ~decimals:0 r.intensity;
+           Table.cell_float ~decimals:0 (Summary.mean r.nodes);
+         ]
+         @ Array.to_list
+             (Array.map
+                (fun s ->
+                  if Summary.count s = 0 then "-"
+                  else Table.cell_float ~decimals:1 (Summary.mean s))
+                r.per_level)
+         @ [ Table.cell_float ~decimals:1 (Summary.mean r.levels) ])
+       rows)
+
+let print ?seed ?runs ?radius ?intensities () =
+  Table.print (to_table (run ?seed ?runs ?radius ?intensities ()))

@@ -1,0 +1,30 @@
+(** Extension experiment H1: head population per hierarchy level (paper
+    future work). Expected shape: each level shrinks the head count by a
+    large factor; two to three levels suffice for a thousand nodes. *)
+
+type row = {
+  intensity : float;
+  nodes : Ss_stats.Summary.t;
+  per_level : Ss_stats.Summary.t array;
+  levels : Ss_stats.Summary.t;
+}
+
+val max_levels : int
+
+val run :
+  ?seed:int ->
+  ?runs:int ->
+  ?radius:float ->
+  ?intensities:float list ->
+  unit ->
+  row list
+
+val to_table : ?title:string -> row list -> Ss_stats.Table.t
+
+val print :
+  ?seed:int ->
+  ?runs:int ->
+  ?radius:float ->
+  ?intensities:float list ->
+  unit ->
+  unit

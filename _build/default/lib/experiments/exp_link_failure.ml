@@ -1,0 +1,104 @@
+(* Extension experiment M3: stabilization versus link-failure frequency —
+   the third axis the paper's conclusion names ("frequency of links
+   failure") next to node speed and mobility model.
+
+   Nodes stay put; instead, each epoch every radio link independently fades
+   with probability f (a fresh draw per epoch, modelling shadowing and
+   interference rather than motion). We measure the same three quantities
+   as the speed sweep: warm-start re-stabilization rounds, head retention
+   and membership stability, as functions of f. *)
+
+module Graph = Ss_topology.Graph
+module Rng = Ss_prng.Rng
+module Config = Ss_cluster.Config
+module Algorithm = Ss_cluster.Algorithm
+module Assignment = Ss_cluster.Assignment
+module Metrics = Ss_cluster.Metrics
+module Table = Ss_stats.Table
+module Summary = Ss_stats.Summary
+
+type row = {
+  failure_rate : float;
+  rounds : Summary.t;
+  retention : Summary.t;
+  membership : Summary.t;
+}
+
+(* The stable topology with each link independently removed with
+   probability [rate]. *)
+let faded rng graph ~rate =
+  let n = Graph.node_count graph in
+  let edges = ref [] in
+  Graph.iter_edges graph (fun p q ->
+      if not (Rng.bernoulli rng rate) then edges := (p, q) :: !edges);
+  let positions = Graph.positions graph in
+  Graph.of_edges ?positions ~n !edges
+
+let measure_rate ~seed ~runs ~spec ~epochs rate =
+  let rounds = Summary.create () in
+  let retention = Summary.create () in
+  let membership = Summary.create () in
+  Runner.replicate ~seed ~runs (fun ~run rng ->
+      ignore run;
+      let world = Scenario.build rng spec in
+      let base = world.Scenario.graph in
+      let ids = world.Scenario.ids in
+      let cluster graph init_heads =
+        Algorithm.run ?init_heads rng Config.basic graph ~ids
+      in
+      let previous = ref (cluster base None) in
+      for _ = 1 to epochs do
+        let prev = (!previous).Algorithm.assignment in
+        let init_heads =
+          Array.init (Graph.node_count base) (fun p -> Assignment.head prev p)
+        in
+        let epoch_graph = faded rng base ~rate in
+        let outcome = cluster epoch_graph (Some init_heads) in
+        Summary.add_int rounds outcome.Algorithm.rounds;
+        (match
+           Metrics.head_retention ~before:prev
+             ~after:outcome.Algorithm.assignment
+         with
+        | Some r -> Summary.add retention r
+        | None -> ());
+        (match
+           Metrics.membership_stability ~before:prev
+             ~after:outcome.Algorithm.assignment
+         with
+        | Some s -> Summary.add membership s
+        | None -> ());
+        previous := outcome
+      done)
+  |> ignore;
+  { failure_rate = rate; rounds; retention; membership }
+
+let default_rates = [ 0.0; 0.01; 0.05; 0.1; 0.2; 0.4 ]
+
+let run ?(seed = 42) ?(runs = 3)
+    ?(spec = Scenario.poisson ~intensity:300.0 ~radius:0.1 ()) ?(epochs = 30)
+    ?(rates = default_rates) () =
+  List.map (measure_rate ~seed ~runs ~spec ~epochs) rates
+
+let to_table ?(title = "Stabilization vs link-failure rate (per epoch)") rows =
+  let t =
+    Table.create ~title
+      ~header:
+        [
+          "link failure rate"; "re-stabilization rounds"; "head retention";
+          "same-head nodes";
+        ]
+      ()
+  in
+  Table.add_rows t
+    (List.map
+       (fun r ->
+         [
+           Printf.sprintf "%.0f%%" (100.0 *. r.failure_rate);
+           Table.cell_float ~decimals:2 (Summary.mean r.rounds);
+           Printf.sprintf "%.1f%%" (100.0 *. Summary.mean r.retention);
+           Printf.sprintf "%.1f%%" (100.0 *. Summary.mean r.membership);
+         ])
+       rows)
+
+let print ?seed ?runs ?spec ?epochs ?rates () =
+  Table.print (to_table (run ?seed ?runs ?spec ?epochs ?rates ()))

@@ -1,0 +1,39 @@
+(** Extension experiment M3: stabilization and structure churn versus the
+    per-epoch link-failure probability (the "frequency of links failure"
+    axis from the paper's future work). Expected shape: like the speed
+    sweep — retention degrades smoothly with the failure rate while
+    warm-start re-stabilization rounds stay near-constant. *)
+
+type row = {
+  failure_rate : float;
+  rounds : Ss_stats.Summary.t;
+  retention : Ss_stats.Summary.t;
+  membership : Ss_stats.Summary.t;
+}
+
+val faded :
+  Ss_prng.Rng.t -> Ss_topology.Graph.t -> rate:float -> Ss_topology.Graph.t
+(** The topology with each link independently removed with the given
+    probability. *)
+
+val default_rates : float list
+
+val run :
+  ?seed:int ->
+  ?runs:int ->
+  ?spec:Scenario.spec ->
+  ?epochs:int ->
+  ?rates:float list ->
+  unit ->
+  row list
+
+val to_table : ?title:string -> row list -> Ss_stats.Table.t
+
+val print :
+  ?seed:int ->
+  ?runs:int ->
+  ?spec:Scenario.spec ->
+  ?epochs:int ->
+  ?rates:float list ->
+  unit ->
+  unit

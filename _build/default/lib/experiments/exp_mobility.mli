@@ -1,0 +1,37 @@
+(** Experiment M1 (Section 5 mobility): cluster-head retention per epoch
+    under random mobility, improved (Section 4.3) rules versus basic rules.
+    The paper's shape: retention falls with speed; improved > basic. *)
+
+type params = {
+  count : int;
+  radius : float;
+  epoch : float;
+  horizon : float;
+  seed : int;
+  runs : int;
+}
+
+val default_params : params
+
+val run_once :
+  Ss_prng.Rng.t ->
+  params:params ->
+  model:Ss_mobility.Model.t ->
+  config:Ss_cluster.Config.t ->
+  Ss_stats.Summary.t
+(** One trajectory; returns the per-epoch retention summary. *)
+
+type regime = { label : string; model : Ss_mobility.Model.t }
+
+val pedestrian : regime
+val vehicular : regime
+
+type result = {
+  regime : string;
+  improved : Ss_stats.Summary.t;
+  basic : Ss_stats.Summary.t;
+}
+
+val run : ?params:params -> ?regimes:regime list -> unit -> result list
+val to_table : ?title:string -> result list -> Ss_stats.Table.t
+val print : ?params:params -> ?regimes:regime list -> unit -> unit

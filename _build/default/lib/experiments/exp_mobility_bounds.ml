@@ -1,0 +1,108 @@
+(* Extension experiment M2: stabilization as a function of mobility — the
+   paper's conclusion asks for "sharp bounds on the stabilization as a
+   function of the mobility, e.g., speed of the nodes".
+
+   We sweep the maximum node speed and measure, per 2-second epoch:
+     - the synchronous rounds the algorithm needs to re-stabilize when
+       warm-started from the previous epoch's heads (the incremental
+       stabilization cost of that much motion), and
+     - head retention and membership stability (how much of the structure
+       the motion destroyed). *)
+
+module Graph = Ss_topology.Graph
+module Rng = Ss_prng.Rng
+module Config = Ss_cluster.Config
+module Algorithm = Ss_cluster.Algorithm
+module Assignment = Ss_cluster.Assignment
+module Metrics = Ss_cluster.Metrics
+module Model = Ss_mobility.Model
+module Fleet = Ss_mobility.Fleet
+module Table = Ss_stats.Table
+module Summary = Ss_stats.Summary
+
+type row = {
+  speed_mps : float; (* max speed in m/s *)
+  rounds : Summary.t; (* re-stabilization rounds per epoch *)
+  retention : Summary.t;
+  membership : Summary.t;
+}
+
+let measure_speed ~seed ~runs ~count ~radius ~epoch ~epochs speed_mps =
+  let rounds = Summary.create () in
+  let retention = Summary.create () in
+  let membership = Summary.create () in
+  let model =
+    Model.random_walk ~speed_min:0.0
+      ~speed_max:(Model.meters_per_second speed_mps)
+      ()
+  in
+  Runner.replicate ~seed ~runs (fun ~run rng ->
+      ignore run;
+      let positions =
+        Ss_geom.Point_process.uniform rng ~count ~box:Ss_geom.Bbox.unit_square
+      in
+      let fleet =
+        Fleet.create rng ~model ~box:Ss_geom.Bbox.unit_square positions
+      in
+      let ids = Rng.permutation rng count in
+      let cluster init_heads =
+        let graph = Graph.unit_disk ~radius (Fleet.positions fleet) in
+        Algorithm.run ?init_heads rng Config.basic graph ~ids
+      in
+      let previous = ref (cluster None) in
+      for _ = 1 to epochs do
+        Fleet.step fleet epoch;
+        let prev = (!previous).Algorithm.assignment in
+        let init_heads =
+          Array.init count (fun p -> Assignment.head prev p)
+        in
+        let outcome = cluster (Some init_heads) in
+        Summary.add_int rounds outcome.Algorithm.rounds;
+        (match
+           Metrics.head_retention ~before:prev
+             ~after:outcome.Algorithm.assignment
+         with
+        | Some r -> Summary.add retention r
+        | None -> ());
+        (match
+           Metrics.membership_stability ~before:prev
+             ~after:outcome.Algorithm.assignment
+         with
+        | Some s -> Summary.add membership s
+        | None -> ());
+        previous := outcome
+      done)
+  |> ignore;
+  { speed_mps; rounds; retention; membership }
+
+let default_speeds = [ 0.0; 0.5; 1.6; 4.0; 10.0; 20.0 ]
+
+let run ?(seed = 42) ?(runs = 3) ?(count = 300) ?(radius = 0.1)
+    ?(epoch = 2.0) ?(epochs = 40) ?(speeds = default_speeds) () =
+  List.map (measure_speed ~seed ~runs ~count ~radius ~epoch ~epochs) speeds
+
+let to_table
+    ?(title = "Stabilization vs mobility (per 2 s epoch, warm start)") rows =
+  let t =
+    Table.create ~title
+      ~header:
+        [
+          "max speed (m/s)"; "re-stabilization rounds"; "head retention";
+          "same-head nodes";
+        ]
+      ()
+  in
+  Table.add_rows t
+    (List.map
+       (fun r ->
+         [
+           Table.cell_float ~decimals:1 r.speed_mps;
+           Table.cell_float ~decimals:2 (Summary.mean r.rounds);
+           Printf.sprintf "%.1f%%" (100.0 *. Summary.mean r.retention);
+           Printf.sprintf "%.1f%%" (100.0 *. Summary.mean r.membership);
+         ])
+       rows)
+
+let print ?seed ?runs ?count ?radius ?epoch ?epochs ?speeds () =
+  Table.print
+    (to_table (run ?seed ?runs ?count ?radius ?epoch ?epochs ?speeds ()))

@@ -1,0 +1,38 @@
+(** Extension experiment M2: stabilization cost as a function of node speed
+    (the paper's future-work question). Expected shape: retention and
+    membership stability fall monotonically with speed; warm-start
+    re-stabilization rounds stay near-constant (the constant-time
+    stabilization claim), only the amount of churn grows. *)
+
+type row = {
+  speed_mps : float;
+  rounds : Ss_stats.Summary.t;
+  retention : Ss_stats.Summary.t;
+  membership : Ss_stats.Summary.t;
+}
+
+val default_speeds : float list
+
+val run :
+  ?seed:int ->
+  ?runs:int ->
+  ?count:int ->
+  ?radius:float ->
+  ?epoch:float ->
+  ?epochs:int ->
+  ?speeds:float list ->
+  unit ->
+  row list
+
+val to_table : ?title:string -> row list -> Ss_stats.Table.t
+
+val print :
+  ?seed:int ->
+  ?runs:int ->
+  ?count:int ->
+  ?radius:float ->
+  ?epoch:float ->
+  ?epochs:int ->
+  ?speeds:float list ->
+  unit ->
+  unit

@@ -1,0 +1,18 @@
+(** Experiment T2 (Table 2): at which step each piece of knowledge becomes
+    (and stays) correct in the message-level protocol, versus the paper's
+    schedule: neighbors at step 1, density at step 2, father at step 3,
+    cluster-head within tree-depth further steps. *)
+
+type milestones = {
+  neighbors : Ss_stats.Summary.t;
+  density : Ss_stats.Summary.t;
+  father : Ss_stats.Summary.t;
+  head : Ss_stats.Summary.t;
+}
+
+val run :
+  ?seed:int -> ?runs:int -> ?spec:Scenario.spec -> unit -> milestones
+
+val to_table : ?title:string -> milestones -> Ss_stats.Table.t
+
+val print : ?seed:int -> ?runs:int -> ?spec:Scenario.spec -> unit -> unit

@@ -1,0 +1,39 @@
+(** Experiment S1: measured self-stabilization — recovery rounds after
+    transient state corruption, and stabilization under frame loss.
+    Quantifies the Section 4 claims the paper proves but does not measure. *)
+
+type recovery = {
+  fraction : float;
+  rounds_to_recover : Ss_stats.Summary.t;
+  identical_result : int;
+      (** runs whose post-fault fixpoint equalled the pre-fault clustering *)
+  runs : int;
+}
+
+val measure_recovery :
+  ?seed:int ->
+  ?runs:int ->
+  ?spec:Scenario.spec ->
+  ?fractions:float list ->
+  unit ->
+  recovery list
+
+type loss_row = {
+  tau : float;
+  rounds : Ss_stats.Summary.t;
+  converged : int;
+  runs : int;
+}
+
+val measure_loss :
+  ?seed:int ->
+  ?runs:int ->
+  ?spec:Scenario.spec ->
+  ?taus:float list ->
+  unit ->
+  loss_row list
+
+val recovery_table : ?title:string -> recovery list -> Ss_stats.Table.t
+val loss_table : ?title:string -> loss_row list -> Ss_stats.Table.t
+
+val print : ?seed:int -> ?runs:int -> ?spec:Scenario.spec -> unit -> unit

@@ -1,0 +1,33 @@
+(* Multi-seed experiment execution: every run derives an independent PRNG
+   sub-stream from the base seed, so adding runs never perturbs earlier
+   ones and any single run can be replayed in isolation. *)
+
+module Rng = Ss_prng.Rng
+module Summary = Ss_stats.Summary
+
+let replicate ~seed ~runs f =
+  if runs < 1 then invalid_arg "Runner.replicate: need at least one run";
+  let base = Rng.create ~seed in
+  List.init runs (fun i ->
+      let rng = Rng.split base in
+      f ~run:i rng)
+
+let summarize ~seed ~runs f =
+  let summary = Summary.create () in
+  List.iter (fun v -> Summary.add summary v)
+    (replicate ~seed ~runs (fun ~run rng -> ignore run; f rng));
+  summary
+
+(* Aggregate a record of named measurements across runs. *)
+let summarize_fields ~seed ~runs fields f =
+  let summaries = List.map (fun name -> (name, Summary.create ())) fields in
+  List.iter
+    (fun values ->
+      List.iter
+        (fun (name, v) ->
+          match List.assoc_opt name summaries with
+          | Some s -> Summary.add s v
+          | None -> invalid_arg ("Runner: unknown field " ^ name))
+        values)
+    (replicate ~seed ~runs (fun ~run rng -> ignore run; f rng));
+  summaries

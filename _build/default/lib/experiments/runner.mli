@@ -1,0 +1,18 @@
+(** Seeded multi-run execution and aggregation. *)
+
+val replicate :
+  seed:int -> runs:int -> (run:int -> Ss_prng.Rng.t -> 'a) -> 'a list
+(** Run [f] once per independent PRNG sub-stream of [seed]. *)
+
+val summarize :
+  seed:int -> runs:int -> (Ss_prng.Rng.t -> float) -> Ss_stats.Summary.t
+(** Aggregate a scalar measurement across runs. *)
+
+val summarize_fields :
+  seed:int ->
+  runs:int ->
+  string list ->
+  (Ss_prng.Rng.t -> (string * float) list) ->
+  (string * Ss_stats.Summary.t) list
+(** Aggregate a set of named measurements; [f] must return a value for a
+    subset of the declared fields each run. *)

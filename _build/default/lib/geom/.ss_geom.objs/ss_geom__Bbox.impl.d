@@ -1,0 +1,1 @@
+lib/geom/bbox.ml: Float Fmt Ss_prng Vec2

@@ -1,0 +1,1 @@
+lib/geom/bbox.mli: Fmt Ss_prng Vec2

@@ -1,0 +1,1 @@
+lib/geom/grid_index.ml: Array Bbox Int List Vec2

@@ -1,0 +1,1 @@
+lib/geom/point_process.ml: Array Bbox List Ss_prng Vec2

@@ -1,0 +1,1 @@
+lib/geom/point_process.mli: Bbox Ss_prng Vec2

@@ -1,0 +1,1 @@
+lib/geom/vec2.ml: Float Fmt

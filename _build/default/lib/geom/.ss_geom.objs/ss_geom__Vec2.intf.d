@@ -1,0 +1,1 @@
+lib/geom/vec2.mli: Fmt

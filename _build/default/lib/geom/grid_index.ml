@@ -1,0 +1,59 @@
+(* Uniform-cell spatial hash over a bounding box. Cell side >= query radius,
+   so a radius query inspects at most the 3x3 block of cells around the
+   target — O(1) expected per query under uniform deployments, giving O(n)
+   unit-disk graph construction. *)
+
+type t = {
+  box : Bbox.t;
+  cell : float;
+  cols : int;
+  rows : int;
+  cells : int list array; (* point indices per cell, most recent first *)
+  points : Vec2.t array;
+}
+
+let cell_of t (p : Vec2.t) =
+  let clamp v lo hi = if v < lo then lo else if v > hi then hi else v in
+  let cx = clamp (int_of_float ((p.x -. t.box.min_x) /. t.cell)) 0 (t.cols - 1) in
+  let cy = clamp (int_of_float ((p.y -. t.box.min_y) /. t.cell)) 0 (t.rows - 1) in
+  (cx, cy)
+
+let build ~box ~cell points =
+  if cell <= 0.0 then invalid_arg "Grid_index.build: cell must be positive";
+  let cols = max 1 (int_of_float (ceil (Bbox.width box /. cell))) in
+  let rows = max 1 (int_of_float (ceil (Bbox.height box /. cell))) in
+  let t = { box; cell; cols; rows; cells = Array.make (cols * rows) []; points } in
+  Array.iteri
+    (fun i p ->
+      let cx, cy = cell_of t p in
+      let k = (cy * cols) + cx in
+      t.cells.(k) <- i :: t.cells.(k))
+    points;
+  t
+
+let size t = Array.length t.points
+
+let iter_within t center radius f =
+  if radius < 0.0 then invalid_arg "Grid_index.iter_within: negative radius";
+  let r2 = radius *. radius in
+  let cx, cy = cell_of t center in
+  let reach = max 1 (int_of_float (ceil (radius /. t.cell))) in
+  for gy = max 0 (cy - reach) to min (t.rows - 1) (cy + reach) do
+    for gx = max 0 (cx - reach) to min (t.cols - 1) (cx + reach) do
+      let bucket = t.cells.((gy * t.cols) + gx) in
+      List.iter
+        (fun i -> if Vec2.dist2 t.points.(i) center <= r2 then f i)
+        bucket
+    done
+  done
+
+let within t center radius =
+  let acc = ref [] in
+  iter_within t center radius (fun i -> acc := i :: !acc);
+  List.sort Int.compare !acc
+
+let neighbors t i radius =
+  let center = t.points.(i) in
+  let acc = ref [] in
+  iter_within t center radius (fun j -> if j <> i then acc := j :: !acc);
+  List.sort Int.compare !acc

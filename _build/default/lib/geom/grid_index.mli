@@ -1,0 +1,26 @@
+(** Uniform-grid spatial index for fixed point sets.
+
+    Supports radius queries in expected O(1) per query when the cell size is
+    on the order of the query radius; used to build unit-disk graphs in
+    linear time. *)
+
+type t
+
+val build : box:Bbox.t -> cell:float -> Vec2.t array -> t
+(** Index the given points. [cell] should normally equal the query radius.
+    Points outside [box] are clamped to the border cells (still found by
+    queries, at a small constant cost). *)
+
+val size : t -> int
+(** Number of indexed points. *)
+
+val iter_within : t -> Vec2.t -> float -> (int -> unit) -> unit
+(** [iter_within t c r f] applies [f] to the index of every point at distance
+    [<= r] from [c] (including a point equal to [c] itself if indexed). *)
+
+val within : t -> Vec2.t -> float -> int list
+(** Sorted indices of points within radius of the given center. *)
+
+val neighbors : t -> int -> float -> int list
+(** [neighbors t i r] is the sorted indices of points within [r] of point
+    [i], excluding [i] itself. *)

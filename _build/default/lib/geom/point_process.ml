@@ -1,0 +1,55 @@
+let poisson rng ~intensity ~box =
+  if intensity < 0.0 then invalid_arg "Point_process.poisson: negative intensity";
+  let mean = intensity *. Bbox.area box in
+  let n = Ss_prng.Rng.poisson rng ~mean in
+  Array.init n (fun _ -> Bbox.sample rng box)
+
+let uniform rng ~count ~box =
+  if count < 0 then invalid_arg "Point_process.uniform: negative count";
+  Array.init count (fun _ -> Bbox.sample rng box)
+
+let grid ~cols ~rows ~box =
+  if cols <= 0 || rows <= 0 then invalid_arg "Point_process.grid: empty grid";
+  (* Nodes sit at the centers of a cols x rows lattice filling the box, so
+     spacing is width/cols horizontally; matches the paper's grid scenario
+     where ids increase left-to-right then bottom-to-top (row-major from the
+     bottom row). *)
+  let dx = Bbox.width box /. float_of_int cols in
+  let dy = Bbox.height box /. float_of_int rows in
+  Array.init (cols * rows) (fun k ->
+      let col = k mod cols and row = k / cols in
+      Vec2.v
+        (box.Bbox.min_x +. ((float_of_int col +. 0.5) *. dx))
+        (box.Bbox.min_y +. ((float_of_int row +. 0.5) *. dy)))
+
+let jittered_grid rng ~cols ~rows ~box ~jitter =
+  if jitter < 0.0 then invalid_arg "Point_process.jittered_grid: negative jitter";
+  let pts = grid ~cols ~rows ~box in
+  let dx = Bbox.width box /. float_of_int cols in
+  let dy = Bbox.height box /. float_of_int rows in
+  Array.map
+    (fun p ->
+      let off =
+        Vec2.v
+          (Ss_prng.Rng.float_in_range rng ~lo:(-.jitter *. dx) ~hi:(jitter *. dx))
+          (Ss_prng.Rng.float_in_range rng ~lo:(-.jitter *. dy) ~hi:(jitter *. dy))
+      in
+      Bbox.clamp box (Vec2.add p off))
+    pts
+
+let cluster_process rng ~parents ~mean_children ~spread ~box =
+  if parents < 0 then invalid_arg "Point_process.cluster_process: negative parents";
+  if spread < 0.0 then invalid_arg "Point_process.cluster_process: negative spread";
+  (* Thomas-like cluster process: heavy-tailed spatial inhomogeneity used to
+     stress the density metric away from the paper's homogeneous Poisson
+     setting. *)
+  let out = ref [] in
+  for _ = 1 to parents do
+    let c = Bbox.sample rng box in
+    let k = Ss_prng.Rng.poisson rng ~mean:mean_children in
+    for _ = 1 to k do
+      let off = Vec2.scale spread (Vec2.v (Ss_prng.Rng.gaussian rng) (Ss_prng.Rng.gaussian rng)) in
+      out := Bbox.clamp box (Vec2.add c off) :: !out
+    done
+  done;
+  Array.of_list (List.rev !out)

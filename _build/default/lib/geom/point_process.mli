@@ -1,0 +1,29 @@
+(** Node deployment processes.
+
+    The paper deploys nodes by a homogeneous Poisson process of intensity
+    [lambda] over the unit square, and separately on a regular grid. *)
+
+val poisson : Ss_prng.Rng.t -> intensity:float -> box:Bbox.t -> Vec2.t array
+(** Homogeneous Poisson point process: the count is Poisson(intensity*area),
+    positions are uniform. *)
+
+val uniform : Ss_prng.Rng.t -> count:int -> box:Bbox.t -> Vec2.t array
+(** Exactly [count] uniform points (a binomial point process). *)
+
+val grid : cols:int -> rows:int -> box:Bbox.t -> Vec2.t array
+(** Regular lattice at cell centers, row-major from the bottom-left: the
+    index order matches the paper's adversarial id assignment ("ids
+    increasing from left to right and from the bottom to the top"). *)
+
+val jittered_grid :
+  Ss_prng.Rng.t -> cols:int -> rows:int -> box:Bbox.t -> jitter:float -> Vec2.t array
+(** Grid with per-node uniform jitter of up to [jitter] cell widths. *)
+
+val cluster_process :
+  Ss_prng.Rng.t ->
+  parents:int ->
+  mean_children:float ->
+  spread:float ->
+  box:Bbox.t ->
+  Vec2.t array
+(** Thomas-like cluster process (inhomogeneous stress deployment). *)

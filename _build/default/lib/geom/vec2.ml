@@ -1,0 +1,37 @@
+type t = { x : float; y : float }
+
+let v x y = { x; y }
+
+let zero = { x = 0.0; y = 0.0 }
+
+let x t = t.x
+let y t = t.y
+
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+let scale k a = { x = k *. a.x; y = k *. a.y }
+let neg a = { x = -.a.x; y = -.a.y }
+
+let dot a b = (a.x *. b.x) +. (a.y *. b.y)
+
+let norm2 a = dot a a
+let norm a = sqrt (norm2 a)
+
+let dist2 a b = norm2 (sub a b)
+let dist a b = sqrt (dist2 a b)
+
+let normalize a =
+  let n = norm a in
+  if n = 0.0 then zero else scale (1.0 /. n) a
+
+let of_angle theta = { x = cos theta; y = sin theta }
+
+let lerp a b t = add (scale (1.0 -. t) a) (scale t b)
+
+let equal a b = Float.equal a.x b.x && Float.equal a.y b.y
+
+let compare a b =
+  let c = Float.compare a.x b.x in
+  if c <> 0 then c else Float.compare a.y b.y
+
+let pp ppf t = Fmt.pf ppf "(%.4f, %.4f)" t.x t.y

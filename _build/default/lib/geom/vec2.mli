@@ -1,0 +1,36 @@
+(** Planar points and vectors. *)
+
+type t = { x : float; y : float }
+
+val v : float -> float -> t
+val zero : t
+val x : t -> float
+val y : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val neg : t -> t
+val dot : t -> t -> float
+
+val norm : t -> float
+val norm2 : t -> float
+
+val dist : t -> t -> float
+(** Euclidean distance. *)
+
+val dist2 : t -> t -> float
+(** Squared Euclidean distance (no sqrt; use for comparisons). *)
+
+val normalize : t -> t
+(** Unit vector in the same direction; [zero] maps to [zero]. *)
+
+val of_angle : float -> t
+(** Unit vector at the given angle (radians). *)
+
+val lerp : t -> t -> float -> t
+(** [lerp a b t] interpolates from [a] (t=0) to [b] (t=1). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/mobility/fleet.ml: Array Float Model Ss_geom Ss_prng

@@ -1,0 +1,1 @@
+lib/mobility/fleet.mli: Model Ss_geom Ss_prng

@@ -1,0 +1,1 @@
+lib/mobility/model.ml: Fmt

@@ -1,0 +1,140 @@
+(* Per-node mobility state stepped in fixed time increments. Each node owns
+   an independent PRNG sub-stream so that trajectories do not depend on the
+   iteration order. *)
+
+type node_state = {
+  mutable pos : Ss_geom.Vec2.t;
+  mutable heading : Ss_geom.Vec2.t; (* unit vector *)
+  mutable speed : float;
+  mutable phase_left : float; (* time left in the current leg or pause *)
+  mutable paused : bool;
+  mutable target : Ss_geom.Vec2.t; (* waypoint target *)
+  rng : Ss_prng.Rng.t;
+}
+
+type t = {
+  model : Model.t;
+  box : Ss_geom.Bbox.t;
+  nodes : node_state array;
+}
+
+let draw_speed rng ~speed_min ~speed_max =
+  Ss_prng.Rng.float_in_range rng ~lo:speed_min ~hi:speed_max
+
+let fresh_leg model box st =
+  match model with
+  | Model.Static -> ()
+  | Model.Random_walk { Model.speed_min; speed_max; mean_leg_duration } ->
+      st.heading <-
+        Ss_geom.Vec2.of_angle (Ss_prng.Rng.float st.rng (2.0 *. Float.pi));
+      st.speed <- draw_speed st.rng ~speed_min ~speed_max;
+      st.phase_left <-
+        Ss_prng.Rng.exponential st.rng ~rate:(1.0 /. mean_leg_duration)
+  | Model.Random_waypoint { Model.wp_speed_min; wp_speed_max; pause = _ } ->
+      st.target <- Ss_geom.Bbox.sample st.rng box;
+      st.speed <- draw_speed st.rng ~speed_min:wp_speed_min ~speed_max:wp_speed_max;
+      st.paused <- false;
+      st.phase_left <- infinity
+
+let create rng ~model ~box positions =
+  let nodes =
+    Array.map
+      (fun pos ->
+        let st =
+          {
+            pos;
+            heading = Ss_geom.Vec2.v 1.0 0.0;
+            speed = 0.0;
+            phase_left = 0.0;
+            paused = false;
+            target = pos;
+            rng = Ss_prng.Rng.split rng;
+          }
+        in
+        fresh_leg model box st;
+        st)
+      positions
+  in
+  { model; box; nodes }
+
+let size t = Array.length t.nodes
+
+let positions t = Array.map (fun st -> st.pos) t.nodes
+
+let position t i = t.nodes.(i).pos
+
+let model t = t.model
+
+let step_walk box (params : Model.walk) st dt =
+  let rec advance dt =
+    if dt <= 0.0 then ()
+    else if st.phase_left <= 0.0 then begin
+      fresh_leg (Model.Random_walk params) box st;
+      advance dt
+    end
+    else begin
+      let slice = Float.min dt st.phase_left in
+      let delta = Ss_geom.Vec2.scale (st.speed *. slice) st.heading in
+      let moved = Ss_geom.Vec2.add st.pos delta in
+      let reflected, flip = Ss_geom.Bbox.reflect box moved in
+      st.pos <- reflected;
+      st.heading <-
+        Ss_geom.Vec2.v
+          (st.heading.Ss_geom.Vec2.x *. flip.Ss_geom.Vec2.x)
+          (st.heading.Ss_geom.Vec2.y *. flip.Ss_geom.Vec2.y);
+      st.phase_left <- st.phase_left -. slice;
+      advance (dt -. slice)
+    end
+  in
+  advance dt
+
+let step_waypoint box ~speed_min ~speed_max ~pause st dt =
+  let rec advance dt =
+    if dt <= 1e-12 then ()
+    else if st.paused then begin
+      let slice = Float.min dt st.phase_left in
+      st.phase_left <- st.phase_left -. slice;
+      if st.phase_left <= 0.0 then begin
+        st.target <- Ss_geom.Bbox.sample st.rng box;
+        st.speed <- draw_speed st.rng ~speed_min ~speed_max;
+        st.paused <- false
+      end;
+      advance (dt -. slice)
+    end
+    else if st.speed <= 0.0 then begin
+      (* Zero speed: re-draw once to avoid a stuck node; if the model only
+         allows zero speed, the node legitimately never moves. *)
+      st.speed <- draw_speed st.rng ~speed_min ~speed_max;
+      if st.speed <= 0.0 then () else advance dt
+    end
+    else begin
+      let to_target = Ss_geom.Vec2.sub st.target st.pos in
+      let remaining = Ss_geom.Vec2.norm to_target in
+      let travel = st.speed *. dt in
+      if travel >= remaining then begin
+        st.pos <- st.target;
+        st.paused <- true;
+        st.phase_left <- pause;
+        let used = remaining /. st.speed in
+        advance (dt -. used)
+      end
+      else begin
+        let dir = Ss_geom.Vec2.normalize to_target in
+        st.pos <- Ss_geom.Vec2.add st.pos (Ss_geom.Vec2.scale travel dir)
+      end
+    end
+  in
+  advance dt
+
+let step t dt =
+  if dt < 0.0 then invalid_arg "Fleet.step: negative time step";
+  match t.model with
+  | Model.Static -> ()
+  | Model.Random_walk params ->
+      Array.iter (fun st -> step_walk t.box params st dt) t.nodes
+  | Model.Random_waypoint { Model.wp_speed_min; wp_speed_max; pause } ->
+      Array.iter
+        (fun st ->
+          step_waypoint t.box ~speed_min:wp_speed_min ~speed_max:wp_speed_max
+            ~pause st dt)
+        t.nodes

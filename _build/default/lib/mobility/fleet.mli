@@ -1,0 +1,28 @@
+(** A fleet of mobile nodes stepped in fixed time increments.
+
+    Trajectories are deterministic given the creation-time generator; each
+    node draws from its own PRNG sub-stream, so results do not depend on
+    iteration order or fleet size changes elsewhere. *)
+
+type t
+
+val create :
+  Ss_prng.Rng.t ->
+  model:Model.t ->
+  box:Ss_geom.Bbox.t ->
+  Ss_geom.Vec2.t array ->
+  t
+(** Start a fleet at the given positions. *)
+
+val size : t -> int
+
+val positions : t -> Ss_geom.Vec2.t array
+(** Snapshot of current positions (fresh array). *)
+
+val position : t -> int -> Ss_geom.Vec2.t
+
+val model : t -> Model.t
+
+val step : t -> float -> unit
+(** Advance every node by [dt] seconds. Random-walk nodes reflect off the
+    area boundary; waypoint nodes pause at targets. *)

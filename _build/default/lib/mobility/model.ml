@@ -1,0 +1,51 @@
+(* Mobility models for the Section 5 experiment: "nodes move randomly at a
+   randomly chosen speed". Speeds are in units-per-second where the unit
+   square is read as 1 km x 1 km, so 1 m/s = 0.001 units/s; pedestrians are
+   0-1.6 m/s and cars 0-10 m/s as in the paper. *)
+
+type walk = {
+  speed_min : float;
+  speed_max : float;
+  (* Mean straight-line travel time before re-drawing speed and heading;
+     leg durations are exponential (memoryless). *)
+  mean_leg_duration : float;
+}
+
+type waypoint = { wp_speed_min : float; wp_speed_max : float; pause : float }
+
+type t =
+  | Static
+  | Random_walk of walk
+  | Random_waypoint of waypoint
+
+let static = Static
+
+let check_speeds ~speed_min ~speed_max =
+  if speed_min < 0.0 || speed_max < speed_min then
+    invalid_arg "Mobility: invalid speed range"
+
+let random_walk ?(mean_leg_duration = 10.0) ~speed_min ~speed_max () =
+  check_speeds ~speed_min ~speed_max;
+  if mean_leg_duration <= 0.0 then
+    invalid_arg "Mobility.random_walk: non-positive leg duration";
+  Random_walk { speed_min; speed_max; mean_leg_duration }
+
+let random_waypoint ?(pause = 0.0) ~speed_min ~speed_max () =
+  check_speeds ~speed_min ~speed_max;
+  if pause < 0.0 then invalid_arg "Mobility.random_waypoint: negative pause";
+  Random_waypoint { wp_speed_min = speed_min; wp_speed_max = speed_max; pause }
+
+(* Speed ranges from the paper, in unit-square units (1 unit = 1 km). *)
+let meters_per_second v = v /. 1000.0
+
+let pedestrian = random_walk ~speed_min:0.0 ~speed_max:(meters_per_second 1.6) ()
+let vehicular = random_walk ~speed_min:0.0 ~speed_max:(meters_per_second 10.0) ()
+
+let pp ppf = function
+  | Static -> Fmt.string ppf "static"
+  | Random_walk { speed_min; speed_max; mean_leg_duration } ->
+      Fmt.pf ppf "random-walk(v=[%.4f,%.4f], leg=%.1fs)" speed_min speed_max
+        mean_leg_duration
+  | Random_waypoint { wp_speed_min; wp_speed_max; pause } ->
+      Fmt.pf ppf "random-waypoint(v=[%.4f,%.4f], pause=%.1fs)" wp_speed_min
+        wp_speed_max pause

@@ -1,0 +1,39 @@
+(** Mobility model descriptions.
+
+    Speeds are in unit-square units per second, with the square read as
+    1 km x 1 km (so 1 m/s is 0.001). *)
+
+type walk = {
+  speed_min : float;
+  speed_max : float;
+  mean_leg_duration : float;
+}
+
+type waypoint = { wp_speed_min : float; wp_speed_max : float; pause : float }
+
+type t =
+  | Static
+  | Random_walk of walk
+  | Random_waypoint of waypoint
+
+val static : t
+
+val random_walk :
+  ?mean_leg_duration:float -> speed_min:float -> speed_max:float -> unit -> t
+(** Straight legs with exponentially distributed durations; heading and speed
+    re-drawn per leg; billiard reflection at the area boundary. *)
+
+val random_waypoint :
+  ?pause:float -> speed_min:float -> speed_max:float -> unit -> t
+(** Classic random waypoint: travel to a uniform target, pause, repeat. *)
+
+val meters_per_second : float -> float
+(** Convert m/s to unit-square units per second. *)
+
+val pedestrian : t
+(** The paper's pedestrian regime: speeds in [0, 1.6] m/s. *)
+
+val vehicular : t
+(** The paper's vehicular regime: speeds in [0, 10] m/s. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/prng/rng.ml: Array Float Fun Int64 List Splitmix64

@@ -1,0 +1,64 @@
+(** Random number generation with common distributions.
+
+    A thin layer over {!Splitmix64}. Generators are mutable; derive
+    independent sub-streams with {!split} when parallel or order-independent
+    sampling is needed. *)
+
+type t
+
+val create : seed:int -> t
+(** Fresh generator from an integer seed. *)
+
+val of_state : Splitmix64.t -> t
+(** View a raw SplitMix64 state as a generator. *)
+
+val copy : t -> t
+(** Independent generator with identical current state. *)
+
+val split : t -> t
+(** Child generator with an independent stream; advances the parent once. *)
+
+val split_n : t -> int -> t array
+(** [split_n t n] is an array of [n] independent child generators. *)
+
+val unit : t -> float
+(** Uniform in [0, 1). *)
+
+val float : t -> float -> float
+(** [float t b] is uniform in [0, b). Raises [Invalid_argument] if [b < 0]. *)
+
+val float_in_range : t -> lo:float -> hi:float -> float
+(** Uniform in [lo, hi). *)
+
+val int : t -> int -> int
+(** [int t b] is uniform in [0, b-1]. Raises [Invalid_argument] if [b <= 0]. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** Uniform integer in [lo, hi] inclusive. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val exponential : t -> rate:float -> float
+(** Exponential with the given rate (mean [1/rate]). *)
+
+val gaussian : t -> float
+(** Standard normal via Box-Muller. *)
+
+val poisson : t -> mean:float -> int
+(** Poisson-distributed count with the given mean. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher-Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** Uniform random permutation of [0 .. n-1]. *)

@@ -1,0 +1,44 @@
+(* SplitMix64 (Steele, Lea, Flood 2014). Chosen because it is splittable:
+   independent sub-streams can be derived deterministically, which keeps every
+   experiment reproducible regardless of evaluation order. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let of_int seed = create (Int64.of_int seed)
+
+let copy t = { state = t.state }
+
+(* Mixing function: murmur-style finalizer (mix13 variant). *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+(* A split derives a generator whose stream is independent of the parent's
+   subsequent outputs: we advance the parent once and mix with a distinct
+   finalizer to seed the child. *)
+let mix_gamma z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L
+  in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+let split t =
+  let seed = next_int64 t in
+  create (mix_gamma seed)
+
+let bits53 t =
+  (* Top 53 bits as a float in [0,1). *)
+  let x = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float x *. (1.0 /. 9007199254740992.0)

@@ -1,0 +1,1 @@
+lib/radio/channel.ml: Array Fmt Ss_geom Ss_prng Ss_topology

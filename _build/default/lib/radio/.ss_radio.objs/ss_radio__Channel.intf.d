@@ -1,0 +1,1 @@
+lib/radio/channel.mli: Fmt Ss_geom Ss_prng Ss_topology

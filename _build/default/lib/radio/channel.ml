@@ -1,0 +1,80 @@
+(* The paper abstracts CSMA/CA to a single constant: a frame transmission
+   avoids collision with probability at least tau, independently across
+   frames (a memoryless Markov assumption, Section 4). The channel model
+   decides, per (sender, receiver) pair within one Δ(τ) step, whether the
+   locally broadcast frame is delivered.
+
+   Besides the paper's Bernoulli abstraction, [Slotted] implements an
+   explicit contention model from which tau emerges instead of being
+   assumed: each node transmits in a uniformly chosen slot; a receiver
+   loses a frame when it is itself transmitting in that slot or when
+   another of its radio neighbors picked the same slot (a collision at the
+   receiver, hidden terminals included since contention is evaluated in the
+   receiver's neighborhood). *)
+
+module Graph = Ss_topology.Graph
+module Rng = Ss_prng.Rng
+
+type t =
+  | Perfect
+  | Bernoulli of float
+  | Jammed of { tau : float; region : Ss_geom.Bbox.t; jam_tau : float }
+  | Slotted of { slots : int }
+
+let perfect = Perfect
+
+let bernoulli tau =
+  if tau < 0.0 || tau > 1.0 then invalid_arg "Channel.bernoulli: tau out of range";
+  if tau = 1.0 then Perfect else Bernoulli tau
+
+let jammed ~tau ~region ~jam_tau =
+  if tau < 0.0 || tau > 1.0 then invalid_arg "Channel.jammed: tau out of range";
+  if jam_tau < 0.0 || jam_tau > 1.0 then
+    invalid_arg "Channel.jammed: jam_tau out of range";
+  Jammed { tau; region; jam_tau }
+
+let slotted ~slots =
+  if slots < 1 then invalid_arg "Channel.slotted: need at least one slot";
+  Slotted { slots }
+
+let tau = function
+  | Perfect -> 1.0
+  | Bernoulli tau -> tau
+  | Jammed { tau; _ } -> tau
+  | Slotted { slots } ->
+      (* Lower bound on delivery for a receiver of degree d <= slots-ish:
+         exposed as an indication only; the real value depends on local
+         degrees. With one competing neighbor: (slots-1)/slots. *)
+      float_of_int (slots - 1) /. float_of_int slots
+
+let round_plan t rng ~graph =
+  match t with
+  | Perfect -> fun ~src:_ ~dst:_ -> true
+  | Bernoulli tau -> fun ~src:_ ~dst:_ -> Rng.bernoulli rng tau
+  | Jammed { tau; region; jam_tau } ->
+      fun ~src:_ ~dst ->
+        let effective =
+          match Graph.position graph dst with
+          | Some p when Ss_geom.Bbox.contains region p -> jam_tau
+          | Some _ | None -> tau
+        in
+        Rng.bernoulli rng effective
+  | Slotted { slots } ->
+      let slot =
+        Array.init (Graph.node_count graph) (fun _ -> Rng.int rng slots)
+      in
+      fun ~src ~dst ->
+        slot.(dst) <> slot.(src)
+        && Array.for_all
+             (fun r -> r = src || slot.(r) <> slot.(src))
+             (Graph.neighbors graph dst)
+
+let delivers t rng ~graph ~src ~dst = round_plan t rng ~graph ~src ~dst
+
+let pp ppf = function
+  | Perfect -> Fmt.string ppf "perfect"
+  | Bernoulli tau -> Fmt.pf ppf "bernoulli(tau=%.3f)" tau
+  | Jammed { tau; jam_tau; region } ->
+      Fmt.pf ppf "jammed(tau=%.3f, jam_tau=%.3f, region=%a)" tau jam_tau
+        Ss_geom.Bbox.pp region
+  | Slotted { slots } -> Fmt.pf ppf "slotted(%d)" slots

@@ -1,0 +1,51 @@
+(** Lossy local-broadcast channel.
+
+    Implements the paper's CSMA/CA abstraction — each frame transmission
+    reaches a given 1-neighbor without collision with probability at least
+    τ, independently per frame — plus an explicit slotted-contention model
+    from which τ emerges rather than being assumed. One engine round is the
+    paper's Δ(τ) window: every node broadcasts once and each neighbor
+    independently receives or loses the frame. *)
+
+type t
+
+val perfect : t
+(** τ = 1: every frame delivered (the step-count experiments of Section 5
+    assume this regime after Δ(τ)). *)
+
+val bernoulli : float -> t
+(** [bernoulli tau] delivers each frame independently with probability
+    [tau] — the paper's model. *)
+
+val jammed : tau:float -> region:Ss_geom.Bbox.t -> jam_tau:float -> t
+(** Like [bernoulli tau], but receivers located inside [region] only
+    receive with probability [jam_tau] — an adversarial interference zone
+    for robustness experiments. Requires node positions. *)
+
+val slotted : slots:int -> t
+(** Slotted contention: within each round every node transmits in a uniform
+    slot of [0..slots-1]. A receiver loses the frame when it transmits in
+    the same slot itself, or when any other radio neighbor of the receiver
+    chose the sender's slot (receiver-side collision; hidden terminals
+    included). Delivery probability emerges from local degrees instead of
+    being postulated. *)
+
+val tau : t -> float
+(** The baseline delivery probability ([slotted] reports the single-
+    competitor lower bound (slots-1)/slots; the true rate depends on local
+    degrees). *)
+
+val round_plan :
+  t -> Ss_prng.Rng.t -> graph:Ss_topology.Graph.t -> src:int -> dst:int -> bool
+(** [round_plan t rng ~graph] draws one Δ(τ) window's delivery function.
+    Call once per round and query it for every (sender, 1-neighbor) pair of
+    that round — [Slotted] draws the slot assignment at plan time, so all
+    queries within a round see consistent collisions. *)
+
+val delivers :
+  t -> Ss_prng.Rng.t -> graph:Ss_topology.Graph.t -> src:int -> dst:int -> bool
+(** One-off delivery decision — equivalent to building a fresh plan per
+    query. Fine for the memoryless models; for [Slotted], per-query plans
+    re-draw the slots, so prefer {!round_plan} inside engines. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,92 @@
+(* ASCII/CSV table rendering for the experiment drivers: each experiment
+   prints the same rows the paper's tables report. *)
+
+type align = Left | Right
+
+type t = {
+  title : string;
+  header : string list;
+  aligns : align list;
+  rows : string list list; (* in insertion order *)
+}
+
+let create ~title ~header ?aligns () =
+  let aligns =
+    match aligns with
+    | Some a ->
+        if List.length a <> List.length header then
+          invalid_arg "Table.create: aligns length mismatch";
+        a
+    | None -> List.map (fun _ -> Right) header
+  in
+  { title; header; aligns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.header then
+    invalid_arg "Table.add_row: cell count mismatch";
+  { t with rows = t.rows @ [ cells ] }
+
+let add_rows t rows = List.fold_left add_row t rows
+
+let cell_float ?(decimals = 2) v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.*f" decimals v
+
+let cell_int = string_of_int
+
+let widths t =
+  let measure acc row =
+    List.map2 (fun w cell -> max w (String.length cell)) acc row
+  in
+  List.fold_left measure (List.map String.length t.header) t.rows
+
+let pad align width s =
+  let fill = width - String.length s in
+  if fill <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+
+let render t =
+  let widths = widths t in
+  let line cells =
+    let padded =
+      List.map2
+        (fun (w, a) c -> pad a w c)
+        (List.combine widths t.aligns)
+        cells
+    in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line t.header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let escape_csv cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let line cells = String.concat "," (List.map escape_csv cells) in
+  String.concat "\n" (line t.header :: List.map line t.rows) ^ "\n"
+
+let print t = print_string (render t)

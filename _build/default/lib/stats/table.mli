@@ -1,0 +1,26 @@
+(** Small immutable result tables with aligned ASCII and CSV rendering. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> header:string list -> ?aligns:align list -> unit -> t
+(** Default alignment is [Right] for every column. *)
+
+val add_row : t -> string list -> t
+(** Raises [Invalid_argument] when the cell count differs from the header. *)
+
+val add_rows : t -> string list list -> t
+
+val cell_float : ?decimals:int -> float -> string
+(** Formats a float cell; NaN renders as "-". *)
+
+val cell_int : int -> string
+
+val render : t -> string
+(** Boxed ASCII rendering. *)
+
+val to_csv : t -> string
+
+val print : t -> unit
+(** [print_string (render t)]. *)

@@ -1,0 +1,1 @@
+lib/topology/builders.ml: Array Graph List Ss_geom Ss_prng String

@@ -1,0 +1,1 @@
+lib/topology/dag.mli: Graph

@@ -1,0 +1,1 @@
+lib/topology/neighborhood.ml: Array Graph Int Set

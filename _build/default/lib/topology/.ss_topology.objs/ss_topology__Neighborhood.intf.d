@@ -1,0 +1,1 @@
+lib/topology/neighborhood.mli: Graph Set

@@ -1,0 +1,1 @@
+lib/topology/traversal.ml: Array Graph List Queue

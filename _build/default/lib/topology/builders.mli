@@ -1,0 +1,36 @@
+(** Topology generators: classic shapes, lattices, geometric graphs and the
+    paper's worked example. *)
+
+val path : int -> Graph.t
+val cycle : int -> Graph.t
+val star : int -> Graph.t
+(** Node 0 is the hub. *)
+
+val complete : int -> Graph.t
+
+val grid_lattice : cols:int -> rows:int -> diagonals:bool -> Graph.t
+(** Lattice with explicit 4- or 8-connectivity and unit-square positions;
+    node [row*cols + col] sits at grid cell (col, row), so ids increase left
+    to right and bottom to top (the paper's adversarial id layout). *)
+
+val geometric_grid : cols:int -> rows:int -> radius:float -> Graph.t
+(** Grid positions in the unit square joined by the unit-disk rule with
+    transmission range [radius] — the paper's grid scenario. *)
+
+val random_geometric :
+  Ss_prng.Rng.t -> intensity:float -> radius:float -> Graph.t
+(** Poisson deployment of the given intensity over the unit square, unit-disk
+    links with range [radius] — the paper's random-geometry scenario. *)
+
+val random_geometric_count :
+  Ss_prng.Rng.t -> count:int -> radius:float -> Graph.t
+(** Same with a fixed node count. *)
+
+val gnp : Ss_prng.Rng.t -> n:int -> p:float -> Graph.t
+(** Erdos-Renyi G(n,p); non-geometric stress topology for tests. *)
+
+val paper_example : unit -> Graph.t * string array * int array
+(** The Figure 1 / Table 1 ten-node example: the graph, node names
+    ("a".."j"), and node ids (with Id_j < Id_f as the paper assumes).
+    See the implementation comment for the one documented deviation from the
+    published Table 1 (node d's column). *)

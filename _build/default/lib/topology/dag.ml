@@ -1,0 +1,80 @@
+(* DAG views of a graph: edges oriented by a per-node label, as in the
+   paper's Section 4.1 (higher label -> lower label) and in the DAG induced
+   by the ≺ order in the stabilization proof. *)
+
+type orientation = { graph : Graph.t; precedes : int -> int -> bool }
+
+let orient graph ~precedes = { graph; precedes }
+
+let of_labels graph labels =
+  if Array.length labels <> Graph.node_count graph then
+    invalid_arg "Dag.of_labels: label length mismatch";
+  (* Edge q -> p when label p < label q: edges flow from higher name to
+     lower name, so label ties between neighbors make the orientation
+     ill-defined (checked by [is_acyclic] / rejected by [height]). *)
+  orient graph ~precedes:(fun p q -> labels.(p) < labels.(q))
+
+let of_compare graph compare =
+  orient graph ~precedes:(fun p q -> compare p q < 0)
+
+(* Longest directed path (number of edges) in the orientation; [None] when a
+   neighbor pair is unordered (tie) or a cycle exists. The walk follows
+   edges from ≺-smaller to ≺-larger, so the "height" matches the paper's
+   induction from the roots of DAG≺. *)
+let height t =
+  let n = Graph.node_count t.graph in
+  let memo = Array.make n (-1) in
+  let on_stack = Array.make n false in
+  let exception Ill_formed in
+  let rec longest p =
+    if memo.(p) >= 0 then memo.(p)
+    else if on_stack.(p) then raise Ill_formed
+    else begin
+      on_stack.(p) <- true;
+      let best = ref 0 in
+      Array.iter
+        (fun q ->
+          if t.precedes p q then begin
+            let d = 1 + longest q in
+            if d > !best then best := d
+          end
+          else if not (t.precedes q p) then raise Ill_formed)
+        (Graph.neighbors t.graph p);
+      on_stack.(p) <- false;
+      memo.(p) <- !best;
+      !best
+    end
+  in
+  match
+    let best = ref 0 in
+    for p = 0 to n - 1 do
+      let d = longest p in
+      if d > !best then best := d
+    done;
+    !best
+  with
+  | h -> Some h
+  | exception Ill_formed -> None
+
+let is_well_formed t =
+  match height t with Some _ -> true | None -> false
+
+let roots t =
+  let n = Graph.node_count t.graph in
+  let acc = ref [] in
+  for p = n - 1 downto 0 do
+    let is_root =
+      Array.for_all (fun q -> t.precedes q p) (Graph.neighbors t.graph p)
+    in
+    if is_root then acc := p :: !acc
+  done;
+  !acc
+
+let locally_unique graph labels =
+  if Array.length labels <> Graph.node_count graph then
+    invalid_arg "Dag.locally_unique: label length mismatch";
+  try
+    Graph.iter_edges graph (fun p q ->
+        if labels.(p) = labels.(q) then raise Exit);
+    true
+  with Exit -> false

@@ -1,0 +1,33 @@
+(** DAG orientations of a network graph.
+
+    Section 4.1 of the paper orients each radio link from the higher local
+    name to the lower one; Section 4.2's stabilization proof walks the DAG
+    induced by the total order ≺. Both are instances of [orientation]. *)
+
+type orientation
+
+val orient : Graph.t -> precedes:(int -> int -> bool) -> orientation
+(** [precedes p q] must mean "p is strictly smaller than q" in the intended
+    order; the directed edge then runs from [q] down to [p]. *)
+
+val of_labels : Graph.t -> int array -> orientation
+(** Orientation from integer labels (DAG names). Neighbor label ties make
+    the orientation ill-formed. *)
+
+val of_compare : Graph.t -> (int -> int -> int) -> orientation
+(** Orientation from a comparison function over nodes. *)
+
+val height : orientation -> int option
+(** Longest directed path length (edges), or [None] if some neighbor pair is
+    unordered or the relation cycles. The paper bounds this by [|γ| + 1]
+    for N1's name DAG and by a constant for DAG≺. *)
+
+val is_well_formed : orientation -> bool
+
+val roots : orientation -> int list
+(** Nodes that dominate all their neighbors (sources of the DAG, i.e. the
+    locally ≺-maximal nodes). Sorted. *)
+
+val locally_unique : Graph.t -> int array -> bool
+(** True when no radio link joins two nodes with equal labels — the
+    correctness predicate of algorithm N1. *)

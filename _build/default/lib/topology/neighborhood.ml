@@ -1,0 +1,41 @@
+module Iset = Set.Make (Int)
+
+let one_hop graph p = Iset.of_list (Array.to_list (Graph.neighbors graph p))
+
+let k_hop graph p k =
+  if k < 0 then invalid_arg "Neighborhood.k_hop: negative radius";
+  Graph.check_node graph p;
+  (* N^i as defined in the paper: N^1 = N_p and N^i = N^(i-1) plus the
+     neighbors of N^(i-1); p itself is excluded. *)
+  let rec grow frontier acc i =
+    if i >= k || Iset.is_empty frontier then acc
+    else begin
+      let next =
+        Iset.fold
+          (fun q next ->
+            Array.fold_left
+              (fun next r ->
+                if r <> p && not (Iset.mem r acc) then Iset.add r next else next)
+              next (Graph.neighbors graph q))
+          frontier Iset.empty
+      in
+      grow next (Iset.union acc next) (i + 1)
+    end
+  in
+  let n1 = one_hop graph p in
+  grow n1 n1 1
+
+let two_hop graph p = k_hop graph p 2
+
+let closed graph p = Iset.add p (one_hop graph p)
+
+let to_sorted_array set = Array.of_list (Iset.elements set)
+
+let links_within graph set =
+  (* Number of graph edges with both endpoints in [set]. *)
+  Iset.fold
+    (fun p acc ->
+      Array.fold_left
+        (fun acc q -> if q > p && Iset.mem q set then acc + 1 else acc)
+        acc (Graph.neighbors graph p))
+    set 0

@@ -1,0 +1,1 @@
+lib/viz/ascii.ml: Array Buffer Char Float Hashtbl List Ss_cluster Ss_geom Ss_topology String

@@ -1,0 +1,1 @@
+lib/viz/ascii.mli: Ss_cluster Ss_topology

@@ -1,0 +1,1 @@
+lib/viz/svg.ml: Array Buffer Fun Hashtbl List Printf Ss_cluster Ss_geom Ss_topology

@@ -1,0 +1,51 @@
+(* Character-grid rendering of a clustered deployment: each node prints the
+   letter of its cluster (cycled), heads print in uppercase with a marker.
+   Good enough to eyeball Figures 2 and 3 in a terminal. *)
+
+module Graph = Ss_topology.Graph
+module Assignment = Ss_cluster.Assignment
+
+let cluster_letter index = Char.chr (Char.code 'a' + (index mod 26))
+
+let render ?(width = 64) ?(height = 32) graph assignment =
+  match Graph.positions graph with
+  | None -> Error "Ascii.render: graph has no positions"
+  | Some positions ->
+      let canvas = Array.make_matrix height width ' ' in
+      let heads = Assignment.heads assignment in
+      let head_index = Hashtbl.create 16 in
+      List.iteri (fun i h -> Hashtbl.replace head_index h i) heads;
+      let place p (pos : Ss_geom.Vec2.t) =
+        let clampf v = Float.min 0.999 (Float.max 0.0 v) in
+        let col = int_of_float (clampf pos.x *. float_of_int width) in
+        (* Row 0 is the top of the screen but y grows upward in the unit
+           square, so flip. *)
+        let row =
+          height - 1 - int_of_float (clampf pos.y *. float_of_int height)
+        in
+        let h = Assignment.head assignment p in
+        let idx = match Hashtbl.find_opt head_index h with
+          | Some i -> i
+          | None -> 25
+        in
+        let c = cluster_letter idx in
+        canvas.(row).(col) <-
+          (if Assignment.is_head assignment p then Char.uppercase_ascii c
+           else c)
+      in
+      Array.iteri place positions;
+      let buf = Buffer.create (width * height) in
+      Buffer.add_string buf ("+" ^ String.make width '-' ^ "+\n");
+      Array.iter
+        (fun row ->
+          Buffer.add_char buf '|';
+          Array.iter (Buffer.add_char buf) row;
+          Buffer.add_string buf "|\n")
+        canvas;
+      Buffer.add_string buf ("+" ^ String.make width '-' ^ "+\n");
+      Ok (Buffer.contents buf)
+
+let render_exn ?width ?height graph assignment =
+  match render ?width ?height graph assignment with
+  | Ok s -> s
+  | Error msg -> invalid_arg msg

@@ -1,0 +1,18 @@
+(** Terminal rendering of clustered geometric topologies.
+
+    Nodes print as their cluster's letter; cluster-heads print uppercase.
+    Requires node positions. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  Ss_topology.Graph.t ->
+  Ss_cluster.Assignment.t ->
+  (string, string) result
+
+val render_exn :
+  ?width:int ->
+  ?height:int ->
+  Ss_topology.Graph.t ->
+  Ss_cluster.Assignment.t ->
+  string

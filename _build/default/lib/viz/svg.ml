@@ -1,0 +1,100 @@
+(* SVG emitter for Figures 1-3: nodes colored per cluster, heads ringed,
+   optional radio links and parent-tree edges. Pure string generation, no
+   dependencies. *)
+
+module Graph = Ss_topology.Graph
+module Assignment = Ss_cluster.Assignment
+
+let palette =
+  [|
+    "#e6194b"; "#3cb44b"; "#4363d8"; "#f58231"; "#911eb4"; "#46f0f0";
+    "#f032e6"; "#bcf60c"; "#fabebe"; "#008080"; "#e6beff"; "#9a6324";
+    "#fffac8"; "#800000"; "#aaffc3"; "#808000"; "#ffd8b1"; "#000075";
+    "#808080"; "#ffe119";
+  |]
+
+let color_of_cluster i = palette.(i mod Array.length palette)
+
+type options = {
+  size : int; (* canvas side in pixels *)
+  show_links : bool;
+  show_tree : bool;
+  node_radius : float;
+}
+
+let default_options =
+  { size = 800; show_links = false; show_tree = true; node_radius = 4.0 }
+
+let render ?(options = default_options) graph assignment =
+  match Graph.positions graph with
+  | None -> Error "Svg.render: graph has no positions"
+  | Some positions ->
+      let size = float_of_int options.size in
+      let px (pos : Ss_geom.Vec2.t) =
+        (* Flip y so the unit square reads naturally (y up). *)
+        (pos.x *. size, (1.0 -. pos.y) *. size)
+      in
+      let heads = Assignment.heads assignment in
+      let head_index = Hashtbl.create 16 in
+      List.iteri (fun i h -> Hashtbl.replace head_index h i) heads;
+      let color_of p =
+        match Hashtbl.find_opt head_index (Assignment.head assignment p) with
+        | Some i -> color_of_cluster i
+        | None -> "#000000"
+      in
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" \
+            height=\"%d\" viewBox=\"0 0 %d %d\">\n"
+           options.size options.size options.size options.size);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" options.size
+           options.size);
+      if options.show_links then
+        Graph.iter_edges graph (fun p q ->
+            let x1, y1 = px positions.(p) and x2, y2 = px positions.(q) in
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+                  stroke=\"#dddddd\" stroke-width=\"0.5\"/>\n"
+                 x1 y1 x2 y2));
+      if options.show_tree then
+        Graph.iter_nodes graph (fun p ->
+            let f = Assignment.parent assignment p in
+            if f <> p then begin
+              let x1, y1 = px positions.(p) and x2, y2 = px positions.(f) in
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+                    stroke=\"%s\" stroke-width=\"1\"/>\n"
+                   x1 y1 x2 y2 (color_of p))
+            end);
+      Graph.iter_nodes graph (fun p ->
+          let x, y = px positions.(p) in
+          let r = options.node_radius in
+          if Assignment.is_head assignment p then
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"%s\" \
+                  stroke=\"black\" stroke-width=\"2\"/>\n"
+                 x y (r *. 1.8) (color_of p))
+          else
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"%s\"/>\n"
+                 x y r (color_of p)));
+      Buffer.add_string buf "</svg>\n";
+      Ok (Buffer.contents buf)
+
+let render_exn ?options graph assignment =
+  match render ?options graph assignment with
+  | Ok s -> s
+  | Error msg -> invalid_arg msg
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,30 @@
+(** SVG rendering of clustered geometric topologies (Figures 1-3).
+
+    Nodes are filled with their cluster's color; heads get a black ring and
+    a larger radius; parent-tree edges (and optionally all radio links) are
+    drawn underneath. *)
+
+type options = {
+  size : int;
+  show_links : bool;
+  show_tree : bool;
+  node_radius : float;
+}
+
+val default_options : options
+
+val render :
+  ?options:options ->
+  Ss_topology.Graph.t ->
+  Ss_cluster.Assignment.t ->
+  (string, string) result
+(** Errors when the graph carries no positions. *)
+
+val render_exn :
+  ?options:options ->
+  Ss_topology.Graph.t ->
+  Ss_cluster.Assignment.t ->
+  string
+
+val write_file : string -> string -> unit
+(** Write contents to a path (creates or truncates). *)

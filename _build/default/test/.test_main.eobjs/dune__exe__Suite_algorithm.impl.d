@@ -1,0 +1,1 @@
+test/suite_algorithm.ml: Alcotest Array Fmt Fun List Printf QCheck QCheck_alcotest Ss_cluster Ss_prng Ss_topology

@@ -1,0 +1,1 @@
+test/suite_assignment.ml: Alcotest Fmt List Ss_cluster Ss_topology

@@ -1,0 +1,1 @@
+test/suite_dag_id.ml: Alcotest Array Int Printf Ss_cluster Ss_prng Ss_topology

@@ -1,0 +1,1 @@
+test/suite_density.ml: Alcotest Array Printf Ss_cluster Ss_prng Ss_topology

@@ -1,0 +1,1 @@
+test/suite_distributed.ml: Alcotest Array Fmt Fun List Printf QCheck QCheck_alcotest Ss_cluster Ss_engine Ss_geom Ss_prng Ss_radio Ss_topology

@@ -1,0 +1,1 @@
+test/suite_energy.ml: Alcotest Array Fun Hashtbl List Printf Ss_cluster Ss_prng Ss_topology

@@ -1,0 +1,1 @@
+test/suite_engine.ml: Alcotest Array Float Int List Ss_engine Ss_geom Ss_prng Ss_radio Ss_topology

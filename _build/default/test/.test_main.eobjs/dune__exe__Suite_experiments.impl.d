@@ -1,0 +1,1 @@
+test/suite_experiments.ml: Alcotest Array Float Fun Int List Printf Ss_cluster Ss_experiments Ss_prng Ss_stats Ss_topology String

@@ -1,0 +1,1 @@
+test/suite_geom.ml: Alcotest Array Float Int List Ss_geom Ss_prng

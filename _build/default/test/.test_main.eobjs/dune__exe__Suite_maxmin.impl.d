@@ -1,0 +1,1 @@
+test/suite_maxmin.ml: Alcotest Array Fmt List Printf Ss_cluster Ss_prng Ss_topology

@@ -1,0 +1,1 @@
+test/suite_metrics.ml: Alcotest Array List Ss_cluster Ss_topology

@@ -1,0 +1,1 @@
+test/suite_mobility.ml: Alcotest Array Ss_geom Ss_mobility Ss_prng

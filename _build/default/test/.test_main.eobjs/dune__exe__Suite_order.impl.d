@@ -1,0 +1,1 @@
+test/suite_order.ml: Alcotest List Ss_cluster Ss_prng

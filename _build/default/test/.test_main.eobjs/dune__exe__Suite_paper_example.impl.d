@@ -1,0 +1,1 @@
+test/suite_paper_example.ml: Alcotest Array Fmt Int List Printf Ss_cluster Ss_prng Ss_topology String

@@ -1,0 +1,1 @@
+test/suite_prng.ml: Alcotest Array Float Fun Int Int64 List Printf Ss_prng

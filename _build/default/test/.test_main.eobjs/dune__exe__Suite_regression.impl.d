@@ -1,0 +1,1 @@
+test/suite_regression.ml: Alcotest Array Fun Ss_cluster Ss_prng Ss_topology

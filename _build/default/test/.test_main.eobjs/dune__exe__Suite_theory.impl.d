@@ -1,0 +1,1 @@
+test/suite_theory.ml: Alcotest Array Fmt Fun List Printf QCheck QCheck_alcotest Ss_cluster Ss_engine Ss_prng Ss_topology

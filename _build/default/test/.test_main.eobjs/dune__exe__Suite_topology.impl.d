@@ -1,0 +1,1 @@
+test/suite_topology.ml: Alcotest Array Int List Printf Ss_geom Ss_prng Ss_topology

@@ -1,0 +1,1 @@
+test/suite_viz.ml: Alcotest Filename List Ss_cluster Ss_prng Ss_topology Ss_viz String Sys

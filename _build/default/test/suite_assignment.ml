@@ -1,0 +1,104 @@
+module Graph = Ss_topology.Graph
+module Builders = Ss_topology.Builders
+module Assignment = Ss_cluster.Assignment
+
+(* A valid hand-built assignment on the path 0-1-2-3-4:
+   cluster {0,1,2} headed by 2, cluster {3,4} headed by 3. *)
+let sample () =
+  Assignment.make ~parent:[| 1; 2; 2; 3; 3 |] ~head:[| 2; 2; 2; 3; 3 |]
+
+let test_basics () =
+  let a = sample () in
+  Alcotest.(check int) "size" 5 (Assignment.size a);
+  Alcotest.(check int) "parent of 0" 1 (Assignment.parent a 0);
+  Alcotest.(check int) "head of 0" 2 (Assignment.head a 0);
+  Alcotest.(check bool) "2 is head" true (Assignment.is_head a 2);
+  Alcotest.(check bool) "0 is not head" false (Assignment.is_head a 0)
+
+let test_heads_and_clusters () =
+  let a = sample () in
+  Alcotest.(check (list int)) "heads" [ 2; 3 ] (Assignment.heads a);
+  Alcotest.(check int) "cluster count" 2 (Assignment.cluster_count a);
+  Alcotest.(check (list int)) "members of 2" [ 0; 1; 2 ] (Assignment.members a 2);
+  Alcotest.(check (list int)) "members of 3" [ 3; 4 ] (Assignment.members a 3);
+  Alcotest.(check (list int)) "members of non-head" [] (Assignment.members a 0)
+
+let test_tree_depth () =
+  let a = sample () in
+  Alcotest.(check (option int)) "leaf depth" (Some 2) (Assignment.tree_depth a 0);
+  Alcotest.(check (option int)) "head depth" (Some 0) (Assignment.tree_depth a 2);
+  (* A cycle is detected, not looped on. *)
+  let cyclic = Assignment.make ~parent:[| 1; 0 |] ~head:[| 0; 0 |] in
+  Alcotest.(check (option int)) "cycle -> None" None
+    (Assignment.tree_depth cyclic 0)
+
+let test_validate_ok () =
+  let g = Builders.path 5 in
+  match Assignment.validate g (sample ()) with
+  | Ok () -> ()
+  | Error ps ->
+      Alcotest.failf "unexpected problems: %a"
+        Fmt.(list ~sep:comma Assignment.pp_problem)
+        ps
+
+let test_validate_catches_non_neighbor_parent () =
+  let g = Builders.path 5 in
+  let bad = Assignment.make ~parent:[| 4; 2; 2; 3; 3 |] ~head:[| 3; 2; 2; 3; 3 |] in
+  match Assignment.validate g bad with
+  | Ok () -> Alcotest.fail "expected a problem"
+  | Error ps ->
+      Alcotest.(check bool) "flags non-neighbor parent" true
+        (List.exists
+           (function Assignment.Parent_not_neighbor 0 -> true | _ -> false)
+           ps)
+
+let test_validate_catches_cycle () =
+  let g = Builders.path 3 in
+  let bad = Assignment.make ~parent:[| 1; 0; 2 |] ~head:[| 0; 0; 2 |] in
+  match Assignment.validate g bad with
+  | Ok () -> Alcotest.fail "expected a cycle"
+  | Error ps ->
+      Alcotest.(check bool) "flags cycle" true
+        (List.exists
+           (function Assignment.Parent_cycle _ -> true | _ -> false)
+           ps)
+
+let test_validate_catches_head_mismatch () =
+  let g = Builders.path 3 in
+  (* Chain of 0 roots at 2 but H claims 1. *)
+  let bad = Assignment.make ~parent:[| 1; 2; 2 |] ~head:[| 1; 2; 2 |] in
+  match Assignment.validate g bad with
+  | Ok () -> Alcotest.fail "expected head mismatch"
+  | Error ps ->
+      Alcotest.(check bool) "flags mismatch" true
+        (List.exists
+           (function Assignment.Head_mismatch 0 -> true | _ -> false)
+           ps)
+
+let test_equal () =
+  Alcotest.(check bool) "equal to itself" true
+    (Assignment.equal (sample ()) (sample ()));
+  let other = Assignment.make ~parent:[| 0; 2; 2; 3; 3 |] ~head:[| 0; 2; 2; 3; 3 |] in
+  Alcotest.(check bool) "different differs" false
+    (Assignment.equal (sample ()) other)
+
+let test_make_validation () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Assignment.make: array length mismatch") (fun () ->
+      ignore (Assignment.make ~parent:[| 0 |] ~head:[||]))
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "heads and clusters" `Quick test_heads_and_clusters;
+    Alcotest.test_case "tree depth and cycle detection" `Quick test_tree_depth;
+    Alcotest.test_case "validate accepts a sound assignment" `Quick
+      test_validate_ok;
+    Alcotest.test_case "validate flags non-neighbor parent" `Quick
+      test_validate_catches_non_neighbor_parent;
+    Alcotest.test_case "validate flags cycles" `Quick test_validate_catches_cycle;
+    Alcotest.test_case "validate flags head mismatch" `Quick
+      test_validate_catches_head_mismatch;
+    Alcotest.test_case "equality" `Quick test_equal;
+    Alcotest.test_case "constructor validation" `Quick test_make_validation;
+  ]

@@ -1,0 +1,168 @@
+module Graph = Ss_topology.Graph
+module Builders = Ss_topology.Builders
+module Dag = Ss_topology.Dag
+module Dag_id = Ss_cluster.Dag_id
+module Gamma = Ss_cluster.Gamma
+module Rng = Ss_prng.Rng
+
+(* ---------------------------------------------------------------- Gamma *)
+
+let test_gamma_sizes () =
+  let g = Builders.star 5 in
+  (* max degree 4 *)
+  Alcotest.(check int) "delta clamped to delta+1" 5 (Gamma.size Gamma.delta g);
+  Alcotest.(check int) "delta^2" 16 (Gamma.size Gamma.delta_sq g);
+  Alcotest.(check int) "delta^3" 64 (Gamma.size (Gamma.delta_pow 3) g);
+  Alcotest.(check int) "fixed clamped" 5 (Gamma.size (Gamma.fixed 2) g);
+  Alcotest.(check int) "fixed big kept" 100 (Gamma.size (Gamma.fixed 100) g)
+
+let test_gamma_empty_graph () =
+  let g = Graph.of_edges ~n:3 [] in
+  Alcotest.(check int) "no edges needs 1 name" 1 (Gamma.size Gamma.delta g)
+
+let test_gamma_validation () =
+  Alcotest.check_raises "fixed 0"
+    (Invalid_argument "Gamma.fixed: size must be >= 1") (fun () ->
+      ignore (Gamma.fixed 0));
+  Alcotest.check_raises "pow 0"
+    (Invalid_argument "Gamma.delta_pow: exponent must be >= 1") (fun () ->
+      ignore (Gamma.delta_pow 0))
+
+(* ------------------------------------------------------------------- N1 *)
+
+let run_n1 ?(seed = 50) ?(gamma_spec = Gamma.delta_sq) graph =
+  let rng = Rng.create ~seed in
+  let ids = Rng.permutation rng (Graph.node_count graph) in
+  Dag_id.build_spec rng graph ~ids ~gamma_spec
+
+let test_n1_local_uniqueness () =
+  let rng = Rng.create ~seed:51 in
+  for seed = 0 to 19 do
+    let g = Builders.gnp rng ~n:50 ~p:0.12 in
+    let result = run_n1 ~seed g in
+    Alcotest.(check bool) "converged" true result.Dag_id.converged;
+    Alcotest.(check bool) "locally unique" true
+      (Dag_id.is_valid g result.Dag_id.names)
+  done
+
+let test_n1_names_in_gamma () =
+  let g = Builders.geometric_grid ~cols:12 ~rows:12 ~radius:0.1 in
+  let result = run_n1 g in
+  Array.iter
+    (fun name ->
+      Alcotest.(check bool) "in range" true
+        (name >= 0 && name < result.Dag_id.gamma_size))
+    result.Dag_id.names
+
+let test_n1_theorem1_height_bound () =
+  (* Theorem 1: the name DAG's height is at most |gamma| + 1. *)
+  let rng = Rng.create ~seed:52 in
+  for _ = 1 to 20 do
+    let g = Builders.gnp rng ~n:40 ~p:0.15 in
+    let result = run_n1 ~seed:(Rng.int rng 10_000) g in
+    match Dag_id.height g result.Dag_id.names with
+    | Some h ->
+        Alcotest.(check bool) "height <= gamma+1" true
+          (h <= result.Dag_id.gamma_size + 1)
+    | None -> Alcotest.fail "names not locally unique"
+  done
+
+let test_n1_steps_at_least_one () =
+  let g = Builders.path 5 in
+  let result = run_n1 g in
+  Alcotest.(check bool) "at least one step" true (result.Dag_id.steps >= 1)
+
+let test_n1_no_collision_single_step () =
+  (* A single node can never collide: exactly one step. *)
+  let g = Graph.of_edges ~n:1 [] in
+  let result = run_n1 g in
+  Alcotest.(check int) "one step" 1 result.Dag_id.steps
+
+let test_n1_empty_graph () =
+  let g = Graph.of_edges ~n:0 [] in
+  let result = run_n1 g in
+  Alcotest.(check int) "zero steps" 0 result.Dag_id.steps;
+  Alcotest.(check bool) "converged" true result.Dag_id.converged
+
+let test_n1_tight_gamma_still_converges () =
+  (* gamma = delta is clamped to delta+1: tight but feasible; the grid's
+     ties force real resolution work. *)
+  let g = Builders.geometric_grid ~cols:8 ~rows:8 ~radius:0.15 in
+  let result = run_n1 ~gamma_spec:Gamma.delta g in
+  Alcotest.(check bool) "converged" true result.Dag_id.converged;
+  Alcotest.(check bool) "valid" true (Dag_id.is_valid g result.Dag_id.names)
+
+let test_n1_complete_graph () =
+  (* In K_n all names must be globally distinct. *)
+  let g = Builders.complete 10 in
+  let result = run_n1 g in
+  Alcotest.(check bool) "valid" true (Dag_id.is_valid g result.Dag_id.names);
+  let sorted = Array.copy result.Dag_id.names in
+  Array.sort Int.compare sorted;
+  let distinct = ref true in
+  for i = 1 to 9 do
+    if sorted.(i) = sorted.(i - 1) then distinct := false
+  done;
+  Alcotest.(check bool) "all distinct in K10" true !distinct
+
+let test_n1_deterministic_under_seed () =
+  let g = Builders.geometric_grid ~cols:10 ~rows:10 ~radius:0.12 in
+  let a = run_n1 ~seed:7 g and b = run_n1 ~seed:7 g in
+  Alcotest.(check bool) "same names" true (a.Dag_id.names = b.Dag_id.names);
+  Alcotest.(check int) "same steps" a.Dag_id.steps b.Dag_id.steps
+
+let test_n1_larger_gamma_fewer_steps () =
+  (* The paper's tuning tension: averaged over seeds, a larger name space
+     needs no more resolution steps than a tight one. *)
+  let g = Builders.geometric_grid ~cols:12 ~rows:12 ~radius:0.12 in
+  let mean gamma_spec =
+    let total = ref 0 in
+    for seed = 0 to 39 do
+      total := !total + (run_n1 ~seed ~gamma_spec g).Dag_id.steps
+    done;
+    float_of_int !total /. 40.0
+  in
+  let tight = mean Gamma.delta in
+  let loose = mean (Gamma.delta_pow 3) in
+  Alcotest.(check bool)
+    (Printf.sprintf "delta^3 (%.2f) <= delta (%.2f)" loose tight)
+    true (loose <= tight)
+
+let test_initial_names_range () =
+  let rng = Rng.create ~seed:53 in
+  let names = Dag_id.initial_names rng ~gamma:7 100 in
+  Array.iter
+    (fun v -> Alcotest.(check bool) "in [0,7)" true (v >= 0 && v < 7))
+    names
+
+let test_height_none_on_collision () =
+  let g = Builders.path 2 in
+  Alcotest.(check (option int)) "collision -> None" None
+    (Dag_id.height g [| 4; 4 |])
+
+let suite =
+  [
+    Alcotest.test_case "gamma sizes" `Quick test_gamma_sizes;
+    Alcotest.test_case "gamma on edgeless graph" `Quick test_gamma_empty_graph;
+    Alcotest.test_case "gamma validation" `Quick test_gamma_validation;
+    Alcotest.test_case "N1 reaches local uniqueness" `Quick
+      test_n1_local_uniqueness;
+    Alcotest.test_case "names stay in gamma" `Quick test_n1_names_in_gamma;
+    Alcotest.test_case "Theorem 1 height bound" `Quick
+      test_n1_theorem1_height_bound;
+    Alcotest.test_case "steps at least one" `Quick test_n1_steps_at_least_one;
+    Alcotest.test_case "lone node needs one step" `Quick
+      test_n1_no_collision_single_step;
+    Alcotest.test_case "empty graph" `Quick test_n1_empty_graph;
+    Alcotest.test_case "tight gamma still converges" `Quick
+      test_n1_tight_gamma_still_converges;
+    Alcotest.test_case "complete graph all distinct" `Quick
+      test_n1_complete_graph;
+    Alcotest.test_case "deterministic under seed" `Quick
+      test_n1_deterministic_under_seed;
+    Alcotest.test_case "larger gamma converges no slower" `Slow
+      test_n1_larger_gamma_fewer_steps;
+    Alcotest.test_case "initial names in range" `Quick test_initial_names_range;
+    Alcotest.test_case "height None on collision" `Quick
+      test_height_none_on_collision;
+  ]

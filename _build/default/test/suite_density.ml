@@ -1,0 +1,177 @@
+module Graph = Ss_topology.Graph
+module Builders = Ss_topology.Builders
+module Neighborhood = Ss_topology.Neighborhood
+module Density = Ss_cluster.Density
+module Metric = Ss_cluster.Metric
+module Rng = Ss_prng.Rng
+
+let density = Alcotest.testable Density.pp Density.equal
+
+let test_isolated_node () =
+  let g = Graph.of_edges ~n:1 [] in
+  let d = Density.compute g 0 in
+  Alcotest.(check density) "isolated is zero" Density.zero d;
+  Alcotest.(check (float 0.0)) "as float" 0.0 (Density.to_float d)
+
+let test_pendant_node () =
+  (* A leaf has one neighbor, one link: density 1. *)
+  let g = Builders.path 3 in
+  Alcotest.(check (float 0.0)) "leaf density" 1.0
+    (Density.to_float (Density.compute g 0));
+  (* Path center: 2 neighbors, 2 links, no edge between them. *)
+  Alcotest.(check (float 0.0)) "center density" 1.0
+    (Density.to_float (Density.compute g 1))
+
+let test_triangle () =
+  let g = Builders.complete 3 in
+  (* 2 neighbors, 2 spokes + 1 edge among them = 3 links: density 1.5. *)
+  Alcotest.(check (float 1e-12)) "triangle" 1.5
+    (Density.to_float (Density.compute g 0))
+
+let test_complete_graph () =
+  (* K_n: every node has n-1 neighbors; links = (n-1) + C(n-1,2). *)
+  let n = 7 in
+  let g = Builders.complete n in
+  let expected =
+    float_of_int ((n - 1) + ((n - 1) * (n - 2) / 2)) /. float_of_int (n - 1)
+  in
+  Alcotest.(check (float 1e-12)) "K7 density" expected
+    (Density.to_float (Density.compute g 0))
+
+let test_star_hub () =
+  (* Hub of a star: k neighbors, k links (no edges among leaves). *)
+  let g = Builders.star 9 in
+  Alcotest.(check (float 1e-12)) "hub density 1" 1.0
+    (Density.to_float (Density.compute g 0))
+
+let test_compare_exact_rationals () =
+  (* 5/4 > 6/5 — a comparison floats at lower precision could mangle. *)
+  let a = Density.make ~links:5 ~nodes:4 in
+  let b = Density.make ~links:6 ~nodes:5 in
+  Alcotest.(check bool) "5/4 > 6/5" true (Density.compare a b > 0);
+  let c = Density.make ~links:10 ~nodes:8 in
+  Alcotest.(check bool) "5/4 = 10/8" true (Density.equal a c);
+  Alcotest.(check bool) "zero smallest" true
+    (Density.compare Density.zero a < 0)
+
+let test_compare_total_order_properties () =
+  let rng = Rng.create ~seed:21 in
+  let random_density () =
+    Density.make ~links:(Rng.int rng 50) ~nodes:(1 + Rng.int rng 12)
+  in
+  for _ = 1 to 500 do
+    let a = random_density () and b = random_density () and c = random_density () in
+    (* Antisymmetry. *)
+    Alcotest.(check int) "antisymmetric" (Density.compare a b)
+      (-Density.compare b a);
+    (* Transitivity of <=. *)
+    if Density.compare a b <= 0 && Density.compare b c <= 0 then
+      Alcotest.(check bool) "transitive" true (Density.compare a c <= 0)
+  done
+
+let test_definition_vs_neighborhood_count () =
+  (* Cross-check Definition 1 against an independent computation via
+     Neighborhood.links_within on random graphs. *)
+  let rng = Rng.create ~seed:22 in
+  for _ = 1 to 10 do
+    let g = Builders.gnp rng ~n:50 ~p:0.08 in
+    Graph.iter_nodes g (fun p ->
+        let np = Neighborhood.one_hop g p in
+        let among = Neighborhood.links_within g np in
+        let expected =
+          Density.make ~links:(Graph.degree g p + among) ~nodes:(Graph.degree g p)
+        in
+        Alcotest.(check density)
+          (Printf.sprintf "node %d" p)
+          expected (Density.compute g p))
+  done
+
+let test_compute_all () =
+  let g = Builders.complete 4 in
+  let all = Density.compute_all g in
+  Alcotest.(check int) "length" 4 (Array.length all);
+  Array.iter
+    (fun d -> Alcotest.(check density) "uniform" all.(0) d)
+    all
+
+let test_of_local_view_matches_compute () =
+  let rng = Rng.create ~seed:23 in
+  let g = Builders.gnp rng ~n:40 ~p:0.1 in
+  Graph.iter_nodes g (fun p ->
+      let neighbors = Graph.neighbors g p in
+      let tables =
+        Array.to_list (Array.map (fun q -> (q, Graph.neighbors g q)) neighbors)
+      in
+      Alcotest.(check density)
+        (Printf.sprintf "local view of %d" p)
+        (Density.compute g p)
+        (Density.of_local_view ~neighbors ~tables))
+
+let test_of_local_view_partial_tables () =
+  (* With empty claimed tables the density degrades to deg/deg = 1 — the
+     step-1 view of the distributed protocol. *)
+  let g = Builders.complete 4 in
+  let neighbors = Graph.neighbors g 0 in
+  let tables = Array.to_list (Array.map (fun q -> (q, [||])) neighbors) in
+  Alcotest.(check (float 0.0)) "partial view" 1.0
+    (Density.to_float (Density.of_local_view ~neighbors ~tables))
+
+let test_paper_density_range_bound () =
+  (* Lemma 2's counting argument: numerator <= delta^2, denominator <= delta,
+     and the numerator is at least the degree. *)
+  let rng = Rng.create ~seed:24 in
+  let g = Builders.random_geometric rng ~intensity:300.0 ~radius:0.08 in
+  let delta = Graph.max_degree g in
+  Graph.iter_nodes g (fun p ->
+      let d = Density.compute g p in
+      Alcotest.(check bool) "numerator bounded" true
+        (Density.links d <= delta * delta);
+      Alcotest.(check bool) "numerator at least degree" true
+        (Density.links d >= Graph.degree g p);
+      Alcotest.(check bool) "denominator bounded" true (Density.nodes d <= delta))
+
+(* Metric framework. *)
+
+let test_metric_degree () =
+  let g = Builders.star 5 in
+  let hub = Metric.value Metric.Degree g 0 in
+  let leaf = Metric.value Metric.Degree g 1 in
+  Alcotest.(check bool) "hub beats leaf" true (Density.compare hub leaf > 0);
+  Alcotest.(check (float 0.0)) "hub degree" 4.0 (Density.to_float hub)
+
+let test_metric_uniform () =
+  let g = Builders.star 5 in
+  let a = Metric.value Metric.Uniform g 0 and b = Metric.value Metric.Uniform g 3 in
+  Alcotest.(check bool) "uniform ties everywhere" true (Density.equal a b)
+
+let test_metric_density_matches () =
+  let g = Builders.complete 3 in
+  Alcotest.(check density) "density metric = Density.compute"
+    (Density.compute g 1)
+    (Metric.value Metric.Density g 1)
+
+let suite =
+  [
+    Alcotest.test_case "isolated node" `Quick test_isolated_node;
+    Alcotest.test_case "pendant and path nodes" `Quick test_pendant_node;
+    Alcotest.test_case "triangle" `Quick test_triangle;
+    Alcotest.test_case "complete graph" `Quick test_complete_graph;
+    Alcotest.test_case "star hub" `Quick test_star_hub;
+    Alcotest.test_case "exact rational comparison" `Quick
+      test_compare_exact_rationals;
+    Alcotest.test_case "order properties" `Quick
+      test_compare_total_order_properties;
+    Alcotest.test_case "Definition 1 vs independent count" `Quick
+      test_definition_vs_neighborhood_count;
+    Alcotest.test_case "compute_all" `Quick test_compute_all;
+    Alcotest.test_case "local view matches oracle" `Quick
+      test_of_local_view_matches_compute;
+    Alcotest.test_case "local view with partial tables" `Quick
+      test_of_local_view_partial_tables;
+    Alcotest.test_case "value-range bounds (Lemma 2)" `Quick
+      test_paper_density_range_bound;
+    Alcotest.test_case "degree metric" `Quick test_metric_degree;
+    Alcotest.test_case "uniform metric" `Quick test_metric_uniform;
+    Alcotest.test_case "density metric delegates" `Quick
+      test_metric_density_matches;
+  ]

@@ -1,0 +1,361 @@
+module Graph = Ss_topology.Graph
+module Builders = Ss_topology.Builders
+module Channel = Ss_radio.Channel
+module Engine = Ss_engine.Engine
+module Cluster = Ss_cluster
+module Config = Ss_cluster.Config
+module Algorithm = Ss_cluster.Algorithm
+module Assignment = Ss_cluster.Assignment
+module Distributed = Ss_cluster.Distributed
+module Rng = Ss_prng.Rng
+
+module P_basic = Distributed.Make (struct
+  let params = Distributed.default_params
+end)
+
+module E_basic = Engine.Make (P_basic)
+
+module P_improved = Distributed.Make (struct
+  let params =
+    { Distributed.default_params with Distributed.algo = Config.improved }
+end)
+
+module E_improved = Engine.Make (P_improved)
+
+module P_dag = Distributed.Make (struct
+  let params =
+    { Distributed.default_params with Distributed.algo = Config.with_dag }
+end)
+
+module E_dag = Engine.Make (P_dag)
+
+let quiet = Distributed.default_params.Distributed.cache_ttl + 2
+
+let random_graph ?(n = 60) ?(p = 0.08) seed =
+  let rng = Rng.create ~seed in
+  (Builders.gnp rng ~n ~p, rng)
+
+let test_matches_oracle_on_perfect_channel () =
+  for seed = 0 to 9 do
+    let graph, rng = random_graph seed in
+    let result = E_basic.run ~quiet_rounds:quiet rng graph in
+    Alcotest.(check bool) "converged" true result.E_basic.converged;
+    let distributed = Distributed.to_assignment result.E_basic.states in
+    let n = Graph.node_count graph in
+    let oracle =
+      Algorithm.cluster (Rng.create ~seed:999) Config.basic graph
+        ~ids:(Array.init n Fun.id)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d matches oracle" seed)
+      true
+      (Assignment.equal distributed oracle)
+  done
+
+let test_densities_match_oracle () =
+  let graph, rng = random_graph 42 in
+  let result = E_basic.run ~quiet_rounds:quiet rng graph in
+  let oracle = Cluster.Density.compute_all graph in
+  Array.iteri
+    (fun p st ->
+      match st.Distributed.density with
+      | Some d ->
+          Alcotest.(check bool)
+            (Printf.sprintf "density of %d" p)
+            true
+            (Cluster.Density.equal d oracle.(p))
+      | None -> Alcotest.fail "density missing after convergence")
+    result.E_basic.states
+
+let test_improved_config_valid_and_separated () =
+  let rng = Rng.create ~seed:7 in
+  let graph = Builders.random_geometric rng ~intensity:150.0 ~radius:0.12 in
+  let result = E_improved.run ~quiet_rounds:quiet ~max_rounds:3000 rng graph in
+  Alcotest.(check bool) "converged" true result.E_improved.converged;
+  let a = Distributed.to_assignment result.E_improved.states in
+  (match Assignment.validate graph a with
+  | Ok () -> ()
+  | Error ps ->
+      Alcotest.failf "invalid: %a"
+        Fmt.(list ~sep:comma Assignment.pp_problem)
+        ps);
+  match Cluster.Metrics.min_head_separation graph a with
+  | Some s -> Alcotest.(check bool) "separation >= 3" true (s >= 3)
+  | None -> ()
+
+let test_dag_names_locally_unique_after_convergence () =
+  let graph, rng = random_graph ~n:50 ~p:0.12 17 in
+  let result = E_dag.run ~quiet_rounds:quiet rng graph in
+  Alcotest.(check bool) "converged" true result.E_dag.converged;
+  let names = Array.map (fun st -> st.Distributed.dag) result.E_dag.states in
+  Alcotest.(check bool) "locally unique" true
+    (Ss_topology.Dag.locally_unique graph names)
+
+let test_recovery_reaches_same_fixpoint () =
+  (* The self-stabilization contract: arbitrary corruption of any subset of
+     nodes, then re-convergence to the same legitimate clustering. *)
+  for seed = 0 to 4 do
+    let graph, rng = random_graph seed in
+    let first = E_basic.run ~quiet_rounds:quiet rng graph in
+    let before = Distributed.to_assignment first.E_basic.states in
+    let n = Graph.node_count graph in
+    let victims = Rng.permutation rng n in
+    for i = 0 to (n / 2) - 1 do
+      let p = victims.(i) in
+      first.E_basic.states.(p) <-
+        Distributed.corrupt rng p first.E_basic.states.(p)
+    done;
+    let second =
+      E_basic.run ~states:first.E_basic.states ~quiet_rounds:quiet rng graph
+    in
+    Alcotest.(check bool) "re-converged" true second.E_basic.converged;
+    let after = Distributed.to_assignment second.E_basic.states in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d same fixpoint" seed)
+      true
+      (Assignment.equal before after)
+  done
+
+let test_total_corruption_recovers () =
+  let graph, rng = random_graph 23 in
+  let first = E_basic.run ~quiet_rounds:quiet rng graph in
+  let before = Distributed.to_assignment first.E_basic.states in
+  Array.iteri
+    (fun p st ->
+      first.E_basic.states.(p) <- Distributed.corrupt rng p st)
+    first.E_basic.states;
+  let second =
+    E_basic.run ~states:first.E_basic.states ~quiet_rounds:quiet rng graph
+  in
+  Alcotest.(check bool) "recovered" true
+    (Assignment.equal before (Distributed.to_assignment second.E_basic.states))
+
+let test_lossy_channel_converges_to_oracle () =
+  (* tau = 0.9 with the default TTL of 3: spurious cache expiry needs three
+     consecutive losses (probability 0.1%), so quiet windows are common and
+     the reached fixpoint must still be the oracle clustering. *)
+  let graph, rng = random_graph ~n:30 33 in
+  let result =
+    E_basic.run ~channel:(Channel.bernoulli 0.9) ~quiet_rounds:quiet
+      ~max_rounds:5000 rng graph
+  in
+  Alcotest.(check bool) "converged" true result.E_basic.converged;
+  let n = Graph.node_count graph in
+  let oracle =
+    Algorithm.cluster (Rng.create ~seed:1) Config.basic graph
+      ~ids:(Array.init n Fun.id)
+  in
+  Alcotest.(check bool) "oracle fixpoint" true
+    (Assignment.equal (Distributed.to_assignment result.E_basic.states) oracle)
+
+let test_knowledge_schedule_small () =
+  (* Table 2 at miniature scale: neighbors at round 1, true density by
+     round 2 on a clean start with perfect delivery. *)
+  let graph = Builders.complete 4 in
+  let rng = Rng.create ~seed:3 in
+  let states = E_basic.init_states rng graph in
+  let snapshots = ref [] in
+  let _ =
+    E_basic.run ~states
+      ~on_round:(fun _ -> snapshots := Array.map Fun.id states :: !snapshots)
+      rng graph
+  in
+  let rounds = Array.of_list (List.rev !snapshots) in
+  let oracle = Cluster.Density.compute_all graph in
+  Array.iteri
+    (fun p st ->
+      ignore p;
+      Alcotest.(check int) "knows 3 neighbors after round 1" 3
+        (List.length st.Distributed.cache))
+    rounds.(0);
+  Array.iteri
+    (fun p st ->
+      match st.Distributed.density with
+      | Some d ->
+          Alcotest.(check bool) "true density after round 2" true
+            (Cluster.Density.equal d oracle.(p))
+      | None -> Alcotest.fail "density missing")
+    rounds.(1)
+
+let test_corrupt_changes_state () =
+  let graph, rng = random_graph 44 in
+  let result = E_basic.run ~quiet_rounds:quiet rng graph in
+  let st = result.E_basic.states.(0) in
+  let changed = ref false in
+  (* Corruption is randomized; over 20 draws at least one must differ. *)
+  for _ = 1 to 20 do
+    if not (P_basic.equal_state st (Distributed.corrupt rng 0 st)) then
+      changed := true
+  done;
+  Alcotest.(check bool) "corruption perturbs state" true !changed
+
+let test_to_assignment_defaults () =
+  let rng = Rng.create ~seed:55 in
+  let graph = Builders.path 3 in
+  let states = E_basic.init_states rng graph in
+  (* Fresh states elected nothing: everyone reads as their own head. *)
+  let a = Distributed.to_assignment states in
+  for p = 0 to 2 do
+    Alcotest.(check bool) "self head" true (Assignment.is_head a p)
+  done
+
+let test_isolated_node_elects_itself () =
+  let graph = Graph.of_edges ~n:2 [] in
+  let rng = Rng.create ~seed:66 in
+  let result = E_basic.run ~quiet_rounds:quiet rng graph in
+  let a = Distributed.to_assignment result.E_basic.states in
+  Alcotest.(check bool) "node 0 self-heads" true (Assignment.is_head a 0);
+  Alcotest.(check bool) "node 1 self-heads" true (Assignment.is_head a 1)
+
+let test_random_order_scheduler_reaches_oracle () =
+  (* The randomized daemon (the paper's asynchronous model) reaches the
+     same unique fixpoint as lockstep execution for the basic config. *)
+  let graph, rng = random_graph ~n:40 77 in
+  let result =
+    E_basic.run ~scheduler:Ss_engine.Scheduler.Random_order
+      ~quiet_rounds:quiet rng graph
+  in
+  Alcotest.(check bool) "converged" true result.E_basic.converged;
+  let n = Graph.node_count graph in
+  let oracle =
+    Algorithm.cluster (Rng.create ~seed:1) Config.basic graph
+      ~ids:(Array.init n Fun.id)
+  in
+  Alcotest.(check bool) "oracle fixpoint" true
+    (Assignment.equal (Distributed.to_assignment result.E_basic.states) oracle)
+
+let test_slotted_contention_converges () =
+  (* Real receiver-side collisions instead of the Bernoulli abstraction:
+     the stack still stabilizes to the oracle clustering. *)
+  let rng = Rng.create ~seed:88 in
+  let graph = Builders.random_geometric rng ~intensity:80.0 ~radius:0.15 in
+  let slots = 4 * (1 + Graph.max_degree graph) in
+  let result =
+    E_basic.run
+      ~channel:(Channel.slotted ~slots)
+      ~quiet_rounds:quiet ~max_rounds:5000 rng graph
+  in
+  Alcotest.(check bool) "converged" true result.E_basic.converged;
+  let n = Graph.node_count graph in
+  let oracle =
+    Algorithm.cluster (Rng.create ~seed:1) Config.basic graph
+      ~ids:(Array.init n Fun.id)
+  in
+  Alcotest.(check bool) "oracle fixpoint" true
+    (Assignment.equal (Distributed.to_assignment result.E_basic.states) oracle)
+
+(* Heavy loss (a jammed quadrant at 50% delivery) needs caches that ride
+   out loss bursts: with TTL t, a spurious expiry needs t consecutive
+   losses, so t = 20 makes churn negligible even at jam_tau = 0.5. *)
+module P_long_ttl = Distributed.Make (struct
+  let params = { Distributed.default_params with Distributed.cache_ttl = 20 }
+end)
+
+module E_long_ttl = Engine.Make (P_long_ttl)
+
+let test_jammed_region_delays_but_converges () =
+  let rng = Rng.create ~seed:89 in
+  let graph = Builders.random_geometric rng ~intensity:80.0 ~radius:0.15 in
+  let region =
+    Ss_geom.Bbox.make ~min_x:0.0 ~min_y:0.0 ~max_x:0.5 ~max_y:0.5
+  in
+  let channel = Channel.jammed ~tau:1.0 ~region ~jam_tau:0.5 in
+  let result =
+    E_long_ttl.run ~channel ~quiet_rounds:25 ~max_rounds:5000 rng graph
+  in
+  Alcotest.(check bool) "converged" true result.E_long_ttl.converged;
+  let n = Graph.node_count graph in
+  let oracle =
+    Algorithm.cluster (Rng.create ~seed:1) Config.basic graph
+      ~ids:(Array.init n Fun.id)
+  in
+  Alcotest.(check bool) "oracle fixpoint" true
+    (Assignment.equal (Distributed.to_assignment result.E_long_ttl.states) oracle)
+
+let test_custom_ids_respected () =
+  (* Supplying explicit global ids changes tie-breaks exactly as in the
+     oracle. *)
+  let graph = Builders.cycle 6 in
+  let ids = [| 5; 4; 3; 2; 1; 0 |] in
+  let module P_ids = Distributed.Make (struct
+    let params = { Distributed.default_params with Distributed.ids = Some ids }
+  end) in
+  let module E_ids = Ss_engine.Engine.Make (P_ids) in
+  let rng = Rng.create ~seed:90 in
+  let result = E_ids.run ~quiet_rounds:quiet rng graph in
+  let a = Distributed.to_assignment result.E_ids.states in
+  let oracle = Algorithm.cluster (Rng.create ~seed:1) Config.basic graph ~ids in
+  Alcotest.(check bool) "converged" true result.E_ids.converged;
+  Alcotest.(check bool) "ids drive the election" true
+    (Assignment.equal a oracle);
+  (* On an all-ties cycle the smallest id (node 5) must head. *)
+  Alcotest.(check bool) "node with id 0 heads" true (Assignment.is_head a 5)
+
+(* --------------------------------------------------------------- qcheck *)
+
+let prop_recovery_legitimate =
+  (* Arbitrary topology, arbitrary corruption fraction: after recovery the
+     assignment satisfies the structural legitimacy predicate. *)
+  QCheck.Test.make ~name:"corruption recovery reaches a legitimate state"
+    ~count:40
+    (QCheck.make
+       ~print:(fun (n, p, seed, frac) ->
+         Printf.sprintf "n=%d p=%.2f seed=%d frac=%.2f" n p seed frac)
+       QCheck.Gen.(
+         quad (int_range 2 40) (float_range 0.02 0.25) (int_range 0 9999)
+           (float_range 0.0 1.0)))
+    (fun (n, p, seed, frac) ->
+      let rng = Rng.create ~seed in
+      let graph = Builders.gnp rng ~n ~p in
+      let first = E_basic.run ~quiet_rounds:quiet rng graph in
+      let count = int_of_float (frac *. float_of_int n) in
+      let victims = Rng.permutation rng n in
+      for i = 0 to count - 1 do
+        let v = victims.(i) in
+        first.E_basic.states.(v) <-
+          Distributed.corrupt rng v first.E_basic.states.(v)
+      done;
+      let second =
+        E_basic.run ~states:first.E_basic.states ~quiet_rounds:quiet
+          ~max_rounds:2000 rng graph
+      in
+      second.E_basic.converged
+      && Assignment.validate graph
+           (Distributed.to_assignment second.E_basic.states)
+         = Ok ())
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_recovery_legitimate ]
+
+let suite =
+  [
+    Alcotest.test_case "matches the oracle on a perfect channel" `Quick
+      test_matches_oracle_on_perfect_channel;
+    Alcotest.test_case "densities match the oracle" `Quick
+      test_densities_match_oracle;
+    Alcotest.test_case "improved config validates with separation" `Quick
+      test_improved_config_valid_and_separated;
+    Alcotest.test_case "DAG names locally unique" `Quick
+      test_dag_names_locally_unique_after_convergence;
+    Alcotest.test_case "recovery reaches the same fixpoint" `Quick
+      test_recovery_reaches_same_fixpoint;
+    Alcotest.test_case "total corruption recovers" `Quick
+      test_total_corruption_recovers;
+    Alcotest.test_case "lossy channel reaches the oracle fixpoint" `Quick
+      test_lossy_channel_converges_to_oracle;
+    Alcotest.test_case "knowledge schedule (miniature Table 2)" `Quick
+      test_knowledge_schedule_small;
+    Alcotest.test_case "corrupt perturbs state" `Quick test_corrupt_changes_state;
+    Alcotest.test_case "to_assignment defaults to self-heads" `Quick
+      test_to_assignment_defaults;
+    Alcotest.test_case "isolated nodes elect themselves" `Quick
+      test_isolated_node_elects_itself;
+    Alcotest.test_case "random-order scheduler reaches the oracle" `Quick
+      test_random_order_scheduler_reaches_oracle;
+    Alcotest.test_case "slotted contention converges to the oracle" `Quick
+      test_slotted_contention_converges;
+    Alcotest.test_case "jammed region delays but converges" `Quick
+      test_jammed_region_delays_but_converges;
+    Alcotest.test_case "custom global ids respected" `Quick
+      test_custom_ids_respected;
+  ]
+  @ qcheck_cases

@@ -1,0 +1,134 @@
+module Graph = Ss_topology.Graph
+module Builders = Ss_topology.Builders
+module Energy = Ss_cluster.Energy
+module Assignment = Ss_cluster.Assignment
+module Density = Ss_cluster.Density
+module Rng = Ss_prng.Rng
+
+let test_battery_basics () =
+  let b = Energy.battery ~capacity:10.0 in
+  Alcotest.(check (float 0.0)) "full" 10.0 (Energy.charge b);
+  Alcotest.(check bool) "alive" true (Energy.is_alive b);
+  Energy.spend b 4.0;
+  Alcotest.(check (float 1e-12)) "spent" 6.0 (Energy.charge b);
+  Energy.spend b 100.0;
+  Alcotest.(check (float 0.0)) "clamped at zero" 0.0 (Energy.charge b);
+  Alcotest.(check bool) "dead" false (Energy.is_alive b);
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Energy.battery: capacity must be positive") (fun () ->
+      ignore (Energy.battery ~capacity:0.0))
+
+let test_levels () =
+  let b = Energy.battery ~capacity:100.0 in
+  Alcotest.(check int) "full level" 7 (Energy.level ~levels:8 b);
+  Energy.spend b 50.0;
+  Alcotest.(check int) "half level" 4 (Energy.level ~levels:8 b);
+  Energy.spend b 50.0;
+  Alcotest.(check int) "empty level" 0 (Energy.level ~levels:8 b)
+
+let test_drain_by_role () =
+  let g = Builders.star 4 in
+  let batteries = Array.init 4 (fun _ -> Energy.battery ~capacity:100.0) in
+  (* Hub 0 is the head. *)
+  let a = Assignment.make ~parent:[| 0; 0; 0; 0 |] ~head:[| 0; 0; 0; 0 |] in
+  ignore g;
+  Energy.apply_drain ~drain:Energy.default_drain batteries a;
+  Alcotest.(check (float 1e-12)) "head drained more" 95.0
+    (Energy.charge batteries.(0));
+  Alcotest.(check (float 1e-12)) "member drained less" 99.0
+    (Energy.charge batteries.(1))
+
+let test_election_values_prefer_energy_within_band () =
+  (* Identical topology roles (a cycle: all densities equal) but different
+     charges: the fuller battery must get a strictly larger value. *)
+  let g = Builders.cycle 6 in
+  let batteries = Array.init 6 (fun _ -> Energy.battery ~capacity:100.0) in
+  Energy.spend batteries.(2) 90.0;
+  let values = Energy.election_values g batteries in
+  Alcotest.(check bool) "drained node ranks lower" true
+    (Density.compare values.(2) values.(0) < 0)
+
+let test_living_subgraph () =
+  let g = Builders.path 4 in
+  let batteries = Array.init 4 (fun _ -> Energy.battery ~capacity:10.0) in
+  Energy.spend batteries.(1) 10.0;
+  let living = Energy.living_subgraph g batteries in
+  Alcotest.(check int) "same node count" 4 (Graph.node_count living);
+  Alcotest.(check int) "dead node isolated" 0 (Graph.degree living 1);
+  Alcotest.(check bool) "far edge kept" true (Graph.mem_edge living 2 3)
+
+let test_run_epoch_rotates_heads () =
+  (* On a cycle everyone ties on density; head duty drains the incumbent
+     until a fresher node takes over. *)
+  let g = Builders.cycle 8 in
+  let rng = Rng.create ~seed:140 in
+  let ids = Array.init 8 Fun.id in
+  let batteries = Array.init 8 (fun _ -> Energy.battery ~capacity:40.0) in
+  let heads_seen = Hashtbl.create 8 in
+  let init = ref None in
+  for _ = 1 to 20 do
+    match Energy.run_epoch ?init_heads:!init rng g batteries ~ids with
+    | Some result ->
+        List.iter
+          (fun h -> Hashtbl.replace heads_seen h ())
+          (Assignment.heads result.Energy.assignment);
+        init :=
+          Some
+            (Array.init 8 (fun p -> Assignment.head result.Energy.assignment p))
+    | None -> ()
+  done;
+  Alcotest.(check bool) "head role rotated" true (Hashtbl.length heads_seen >= 2)
+
+let test_run_epoch_none_when_all_dead () =
+  let g = Builders.path 3 in
+  let rng = Rng.create ~seed:141 in
+  let batteries = Array.init 3 (fun _ -> Energy.battery ~capacity:1.0) in
+  Array.iter (fun b -> Energy.spend b 1.0) batteries;
+  Alcotest.(check bool) "None when dead" true
+    (Energy.run_epoch rng g batteries ~ids:[| 0; 1; 2 |] = None)
+
+let test_lifetime_energy_aware_delays_first_death () =
+  let rng = Rng.create ~seed:142 in
+  let g = Builders.random_geometric rng ~intensity:120.0 ~radius:0.15 in
+  let ids = Rng.permutation rng (Graph.node_count g) in
+  let aware =
+    Energy.simulate_lifetime ~energy_aware:true (Rng.create ~seed:1) g ~ids
+  in
+  let plain =
+    Energy.simulate_lifetime ~energy_aware:false (Rng.create ~seed:1) g ~ids
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "first death: aware %d >= plain %d"
+       aware.Energy.epochs_to_first_death plain.Energy.epochs_to_first_death)
+    true
+    (aware.Energy.epochs_to_first_death >= plain.Energy.epochs_to_first_death);
+  Alcotest.(check bool) "aware rotates more" true
+    (aware.Energy.total_head_changes > plain.Energy.total_head_changes)
+
+let test_lifetime_terminates () =
+  let g = Builders.complete 5 in
+  let lifetime =
+    Energy.simulate_lifetime ~capacity:10.0 ~energy_aware:true
+      (Rng.create ~seed:2) g ~ids:[| 0; 1; 2; 3; 4 |]
+  in
+  Alcotest.(check bool) "half-life reached" true
+    (lifetime.Energy.epochs_to_half_dead > 0
+    && lifetime.Energy.epochs_to_half_dead < 100)
+
+let suite =
+  [
+    Alcotest.test_case "battery basics" `Quick test_battery_basics;
+    Alcotest.test_case "charge levels" `Quick test_levels;
+    Alcotest.test_case "drain by role" `Quick test_drain_by_role;
+    Alcotest.test_case "election values prefer energy within a band" `Quick
+      test_election_values_prefer_energy_within_band;
+    Alcotest.test_case "living subgraph" `Quick test_living_subgraph;
+    Alcotest.test_case "epochs rotate the head role" `Quick
+      test_run_epoch_rotates_heads;
+    Alcotest.test_case "all-dead network yields None" `Quick
+      test_run_epoch_none_when_all_dead;
+    Alcotest.test_case "energy awareness delays the first death" `Quick
+      test_lifetime_energy_aware_delays_first_death;
+    Alcotest.test_case "lifetime simulation terminates" `Quick
+      test_lifetime_terminates;
+  ]

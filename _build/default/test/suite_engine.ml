@@ -1,0 +1,322 @@
+module Graph = Ss_topology.Graph
+module Builders = Ss_topology.Builders
+module Channel = Ss_radio.Channel
+module Engine = Ss_engine.Engine
+module Scheduler = Ss_engine.Scheduler
+module Fault = Ss_engine.Fault
+module Rng = Ss_prng.Rng
+
+(* A toy protocol: flood the maximum value seen. Converges in diameter
+   rounds on a connected graph; ideal for testing the executor. *)
+module Floodmax = struct
+  type state = int
+
+  type message = int
+
+  let init _rng graph p = Graph.node_count graph - p (* arbitrary values *)
+
+  let emit _graph _p st = st
+
+  let handle _rng _graph _p st msgs =
+    List.fold_left (fun acc (_, v) -> max acc v) st msgs
+
+  let equal_state = Int.equal
+end
+
+module E = Engine.Make (Floodmax)
+
+let rng () = Rng.create ~seed:90
+
+let test_floodmax_converges () =
+  let g = Builders.path 10 in
+  let result = E.run (rng ()) g in
+  Alcotest.(check bool) "converged" true result.E.converged;
+  Array.iter
+    (fun st -> Alcotest.(check int) "all carry the max" 10 st)
+    result.E.states
+
+let test_synchronous_takes_diameter_rounds () =
+  (* Node 0 holds the max (n - 0); it must travel the whole path, one hop
+     per synchronous round. *)
+  let n = 12 in
+  let g = Builders.path n in
+  let result = E.run ~scheduler:Scheduler.Synchronous (rng ()) g in
+  Alcotest.(check int) "last change at diameter" (n - 1)
+    result.E.last_change_round
+
+let test_sequential_faster_in_index_order () =
+  (* The sequential daemon propagates the max all the way in one pass when
+     updates flow in index order. *)
+  let g = Builders.path 12 in
+  let result = E.run ~scheduler:Scheduler.Sequential (rng ()) g in
+  Alcotest.(check bool) "few rounds" true (result.E.last_change_round <= 2)
+
+let test_change_history () =
+  let g = Builders.path 5 in
+  let result = E.run (rng ()) g in
+  Alcotest.(check int) "history length = rounds" result.E.rounds
+    (List.length result.E.change_history);
+  (* The final round must be quiet. *)
+  match List.rev result.E.change_history with
+  | last :: _ -> Alcotest.(check int) "final round quiet" 0 last
+  | [] -> Alcotest.fail "expected history"
+
+let test_max_rounds_cap () =
+  (* An never-stabilizing protocol stops at the cap with converged=false. *)
+  let module Ticker = struct
+    type state = int
+    type message = unit
+
+    let init _ _ _ = 0
+    let emit _ _ _ = ()
+    let handle _ _ _ st _ = st + 1
+    let equal_state = Int.equal
+  end in
+  let module ET = Engine.Make (Ticker) in
+  let g = Builders.path 3 in
+  let result = ET.run ~max_rounds:17 (rng ()) g in
+  Alcotest.(check int) "stopped at cap" 17 result.ET.rounds;
+  Alcotest.(check bool) "not converged" false result.ET.converged
+
+let test_quiet_rounds () =
+  let g = Builders.path 5 in
+  let result = E.run ~quiet_rounds:4 (rng ()) g in
+  (* 4 quiet rounds executed after the last change. *)
+  Alcotest.(check int) "rounds = last_change + quiet" (result.E.last_change_round + 4)
+    result.E.rounds
+
+let test_on_round_callback () =
+  let g = Builders.path 5 in
+  let seen = ref [] in
+  let _ =
+    E.run
+      ~on_round:(fun info -> seen := info.Engine.round :: !seen)
+      (rng ()) g
+  in
+  let rounds = List.rev !seen in
+  Alcotest.(check bool) "rounds in order" true
+    (rounds = List.init (List.length rounds) (fun i -> i + 1))
+
+let test_fault_hook_resets_quiescence () =
+  let g = Builders.path 6 in
+  (* Corrupt one node's value downward at round 8, after convergence: the
+     flood must re-propagate (value re-raised by neighbors). *)
+  let fault ~round ~states _rng =
+    if round = 8 then begin
+      states.(3) <- 0;
+      true
+    end
+    else false
+  in
+  (* quiet_rounds large enough that the executor is still alive when the
+     round-8 fault fires. *)
+  let result = E.run ~quiet_rounds:10 ~fault (rng ()) g in
+  Alcotest.(check bool) "converged again" true result.E.converged;
+  Alcotest.(check bool) "ran past the fault" true (result.E.last_change_round >= 8);
+  Array.iter (fun st -> Alcotest.(check int) "healed" 6 st) result.E.states
+
+let test_lossy_channel_still_converges () =
+  (* Floodmax is monotone, so convergence survives arbitrary loss as long
+     as some frames get through. *)
+  let g = Builders.path 8 in
+  let result =
+    E.run ~channel:(Channel.bernoulli 0.5) ~quiet_rounds:10 ~max_rounds:2000
+      (rng ()) g
+  in
+  Alcotest.(check bool) "converged" true result.E.converged;
+  Array.iter (fun st -> Alcotest.(check int) "max everywhere" 8 st) result.E.states
+
+let test_lossy_slower_than_perfect () =
+  let g = Builders.path 16 in
+  let perfect = E.run (rng ()) g in
+  let lossy =
+    E.run ~channel:(Channel.bernoulli 0.3) ~quiet_rounds:10 ~max_rounds:5000
+      (rng ()) g
+  in
+  Alcotest.(check bool) "loss delays convergence" true
+    (lossy.E.last_change_round >= perfect.E.last_change_round)
+
+let test_init_states_override () =
+  let g = Builders.path 4 in
+  let states = [| 100; 0; 0; 0 |] in
+  let result = E.run ~states (rng ()) g in
+  Array.iter (fun st -> Alcotest.(check int) "custom seed flooded" 100 st)
+    result.E.states
+
+(* ---------------------------------------------------------------- Fault *)
+
+let test_fault_plan_schedule () =
+  let plan =
+    Fault.make
+      ~schedule:[ (2, 1); (5, 2) ]
+      ~corrupt:(fun _rng _node st -> st + 1000)
+  in
+  let states = [| 0; 0; 0 |] in
+  let r = rng () in
+  Alcotest.(check bool) "round 1 silent" false
+    (Fault.inject plan ~round:1 ~states r);
+  Alcotest.(check bool) "round 2 fires" true
+    (Fault.inject plan ~round:2 ~states r);
+  let corrupted = Array.fold_left (fun acc v -> if v >= 1000 then acc + 1 else acc) 0 states in
+  Alcotest.(check int) "one victim" 1 corrupted;
+  Alcotest.(check bool) "round 5 fires" true
+    (Fault.inject plan ~round:5 ~states r)
+
+let test_fault_plan_validation () =
+  Alcotest.check_raises "round 0" (Invalid_argument "Fault.make: rounds start at 1")
+    (fun () ->
+      ignore (Fault.make ~schedule:[ (0, 1) ] ~corrupt:(fun _ _ st -> st)));
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Fault.make: negative corruption count") (fun () ->
+      ignore (Fault.make ~schedule:[ (1, -1) ] ~corrupt:(fun _ _ st -> st)))
+
+let test_fault_count_clamped () =
+  let plan = Fault.at_round ~round:1 ~count:99 ~corrupt:(fun _ _ st -> st + 1) in
+  let states = [| 0; 0 |] in
+  Alcotest.(check bool) "fires" true (Fault.inject plan ~round:1 ~states (rng ()));
+  Alcotest.(check (array int)) "all corrupted once" [| 1; 1 |] states
+
+(* -------------------------------------------------------------- Channel *)
+
+let test_channel_perfect () =
+  let g = Builders.path 2 in
+  let r = rng () in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "always delivers" true
+      (Channel.delivers Channel.perfect r ~graph:g ~src:0 ~dst:1)
+  done
+
+let test_channel_bernoulli_rate () =
+  let g = Builders.path 2 in
+  let r = rng () in
+  let channel = Channel.bernoulli 0.7 in
+  let hits = ref 0 in
+  let draws = 20_000 in
+  for _ = 1 to draws do
+    if Channel.delivers channel r ~graph:g ~src:0 ~dst:1 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int draws in
+  Alcotest.(check bool) "near tau" true (Float.abs (rate -. 0.7) < 0.02);
+  Alcotest.(check (float 1e-9)) "tau exposed" 0.7 (Channel.tau channel)
+
+let test_channel_bernoulli_validation () =
+  Alcotest.check_raises "tau > 1"
+    (Invalid_argument "Channel.bernoulli: tau out of range") (fun () ->
+      ignore (Channel.bernoulli 1.5))
+
+let test_channel_slotted_consistency () =
+  (* Within one plan, collisions are consistent: if q's slot collides with
+     another neighbor of p, the frame q->p is lost; re-querying the same
+     plan gives the same answer. *)
+  let g = Builders.complete 5 in
+  let r = rng () in
+  let channel = Channel.slotted ~slots:4 in
+  for _ = 1 to 50 do
+    let plan = Channel.round_plan channel r ~graph:g in
+    Graph.iter_edges g (fun p q ->
+        Alcotest.(check bool) "stable within plan" (plan ~src:q ~dst:p)
+          (plan ~src:q ~dst:p))
+  done
+
+let test_channel_slotted_single_slot_blocks_everything () =
+  (* One slot: every transmission collides with every other; on a graph
+     where each receiver has another neighbor, nothing gets through. *)
+  let g = Builders.complete 4 in
+  let r = rng () in
+  let plan = Channel.round_plan (Channel.slotted ~slots:1) r ~graph:g in
+  Graph.iter_edges g (fun p q ->
+      Alcotest.(check bool) "all collide" false (plan ~src:q ~dst:p))
+
+let test_channel_slotted_pair_delivery_rate () =
+  (* Two nodes, S slots: the only loss is the half-duplex clash, so the
+     delivery rate is (S-1)/S. *)
+  let g = Builders.path 2 in
+  let r = rng () in
+  let channel = Channel.slotted ~slots:4 in
+  let hits = ref 0 in
+  let draws = 20_000 in
+  for _ = 1 to draws do
+    let plan = Channel.round_plan channel r ~graph:g in
+    if plan ~src:0 ~dst:1 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int draws in
+  Alcotest.(check bool) "near 3/4" true (Float.abs (rate -. 0.75) < 0.02)
+
+let test_channel_slotted_more_slots_better () =
+  let g = Builders.complete 8 in
+  let rate slots =
+    let r = rng () in
+    let channel = Channel.slotted ~slots in
+    let hits = ref 0 and total = ref 0 in
+    for _ = 1 to 2000 do
+      let plan = Channel.round_plan channel r ~graph:g in
+      Graph.iter_edges g (fun p q ->
+          incr total;
+          if plan ~src:q ~dst:p then incr hits)
+    done;
+    float_of_int !hits /. float_of_int !total
+  in
+  Alcotest.(check bool) "32 slots beat 4" true (rate 32 > rate 4)
+
+let test_floodmax_under_slotted_channel () =
+  (* The protocol still converges when the loss comes from real contention
+     instead of the Bernoulli abstraction. *)
+  let g = Builders.path 8 in
+  let result =
+    E.run ~channel:(Channel.slotted ~slots:8) ~quiet_rounds:10 ~max_rounds:2000
+      (rng ()) g
+  in
+  Alcotest.(check bool) "converged" true result.E.converged;
+  Array.iter (fun st -> Alcotest.(check int) "max everywhere" 8 st) result.E.states
+
+let test_channel_jammed () =
+  (* Receivers inside the jammed region lose everything at jam_tau = 0. *)
+  let positions = [| Ss_geom.Vec2.v 0.1 0.1; Ss_geom.Vec2.v 0.9 0.9 |] in
+  let g = Graph.unit_disk ~radius:2.0 positions in
+  let region =
+    Ss_geom.Bbox.make ~min_x:0.5 ~min_y:0.5 ~max_x:1.0 ~max_y:1.0
+  in
+  let channel = Channel.jammed ~tau:1.0 ~region ~jam_tau:0.0 in
+  let r = rng () in
+  Alcotest.(check bool) "outside region receives" true
+    (Channel.delivers channel r ~graph:g ~src:1 ~dst:0);
+  Alcotest.(check bool) "inside region jammed" false
+    (Channel.delivers channel r ~graph:g ~src:0 ~dst:1)
+
+let suite =
+  [
+    Alcotest.test_case "floodmax converges" `Quick test_floodmax_converges;
+    Alcotest.test_case "synchronous = one hop per round" `Quick
+      test_synchronous_takes_diameter_rounds;
+    Alcotest.test_case "sequential daemon collapses rounds" `Quick
+      test_sequential_faster_in_index_order;
+    Alcotest.test_case "change history" `Quick test_change_history;
+    Alcotest.test_case "round cap" `Quick test_max_rounds_cap;
+    Alcotest.test_case "quiet rounds" `Quick test_quiet_rounds;
+    Alcotest.test_case "on_round callback" `Quick test_on_round_callback;
+    Alcotest.test_case "fault hook resets quiescence" `Quick
+      test_fault_hook_resets_quiescence;
+    Alcotest.test_case "lossy channel converges" `Quick
+      test_lossy_channel_still_converges;
+    Alcotest.test_case "loss delays convergence" `Quick
+      test_lossy_slower_than_perfect;
+    Alcotest.test_case "explicit initial states" `Quick test_init_states_override;
+    Alcotest.test_case "fault plan schedule" `Quick test_fault_plan_schedule;
+    Alcotest.test_case "fault plan validation" `Quick test_fault_plan_validation;
+    Alcotest.test_case "fault count clamped" `Quick test_fault_count_clamped;
+    Alcotest.test_case "perfect channel" `Quick test_channel_perfect;
+    Alcotest.test_case "bernoulli channel rate" `Slow test_channel_bernoulli_rate;
+    Alcotest.test_case "channel validation" `Quick
+      test_channel_bernoulli_validation;
+    Alcotest.test_case "slotted plan consistency" `Quick
+      test_channel_slotted_consistency;
+    Alcotest.test_case "slotted single slot" `Quick
+      test_channel_slotted_single_slot_blocks_everything;
+    Alcotest.test_case "slotted pair delivery rate" `Slow
+      test_channel_slotted_pair_delivery_rate;
+    Alcotest.test_case "slotted: more slots deliver more" `Slow
+      test_channel_slotted_more_slots_better;
+    Alcotest.test_case "floodmax under slotted contention" `Quick
+      test_floodmax_under_slotted_channel;
+    Alcotest.test_case "jammed region" `Quick test_channel_jammed;
+  ]

@@ -1,0 +1,218 @@
+module Vec2 = Ss_geom.Vec2
+module Bbox = Ss_geom.Bbox
+module Grid_index = Ss_geom.Grid_index
+module Point_process = Ss_geom.Point_process
+module Rng = Ss_prng.Rng
+
+let vec = Alcotest.testable Vec2.pp Vec2.equal
+
+let test_vec_arithmetic () =
+  let a = Vec2.v 1.0 2.0 and b = Vec2.v 3.0 (-1.0) in
+  Alcotest.(check vec) "add" (Vec2.v 4.0 1.0) (Vec2.add a b);
+  Alcotest.(check vec) "sub" (Vec2.v (-2.0) 3.0) (Vec2.sub a b);
+  Alcotest.(check vec) "scale" (Vec2.v 2.0 4.0) (Vec2.scale 2.0 a);
+  Alcotest.(check vec) "neg" (Vec2.v (-1.0) (-2.0)) (Vec2.neg a);
+  Alcotest.(check (float 1e-12)) "dot" 1.0 (Vec2.dot a b)
+
+let test_vec_norms () =
+  let a = Vec2.v 3.0 4.0 in
+  Alcotest.(check (float 1e-12)) "norm" 5.0 (Vec2.norm a);
+  Alcotest.(check (float 1e-12)) "norm2" 25.0 (Vec2.norm2 a);
+  Alcotest.(check (float 1e-12)) "dist" 5.0 (Vec2.dist Vec2.zero a);
+  let u = Vec2.normalize a in
+  Alcotest.(check (float 1e-12)) "unit length" 1.0 (Vec2.norm u);
+  Alcotest.(check vec) "normalize zero" Vec2.zero (Vec2.normalize Vec2.zero)
+
+let test_vec_of_angle () =
+  let quarter = Vec2.of_angle (Float.pi /. 2.0) in
+  Alcotest.(check (float 1e-12)) "x" 0.0 (Float.abs quarter.Vec2.x);
+  Alcotest.(check (float 1e-12)) "y" 1.0 quarter.Vec2.y
+
+let test_vec_lerp () =
+  let a = Vec2.v 0.0 0.0 and b = Vec2.v 2.0 4.0 in
+  Alcotest.(check vec) "t=0" a (Vec2.lerp a b 0.0);
+  Alcotest.(check vec) "t=1" b (Vec2.lerp a b 1.0);
+  Alcotest.(check vec) "t=0.5" (Vec2.v 1.0 2.0) (Vec2.lerp a b 0.5)
+
+let test_bbox_basics () =
+  let b = Bbox.unit_square in
+  Alcotest.(check (float 0.0)) "width" 1.0 (Bbox.width b);
+  Alcotest.(check (float 0.0)) "area" 1.0 (Bbox.area b);
+  Alcotest.(check bool) "contains center" true (Bbox.contains b (Vec2.v 0.5 0.5));
+  Alcotest.(check bool) "excludes outside" false (Bbox.contains b (Vec2.v 1.5 0.5));
+  Alcotest.check_raises "inverted box rejected"
+    (Invalid_argument "Bbox.make: inverted box") (fun () ->
+      ignore (Bbox.make ~min_x:1.0 ~min_y:0.0 ~max_x:0.0 ~max_y:1.0))
+
+let test_bbox_clamp () =
+  let b = Bbox.unit_square in
+  Alcotest.(check vec) "clamp inside unchanged" (Vec2.v 0.3 0.7)
+    (Bbox.clamp b (Vec2.v 0.3 0.7));
+  Alcotest.(check vec) "clamp outside" (Vec2.v 1.0 0.0)
+    (Bbox.clamp b (Vec2.v 2.0 (-1.0)))
+
+let test_bbox_reflect () =
+  let b = Bbox.unit_square in
+  let p, flip = Bbox.reflect b (Vec2.v 1.2 0.5) in
+  Alcotest.(check vec) "reflected x" (Vec2.v 0.8 0.5) p;
+  Alcotest.(check (float 0.0)) "x flipped" (-1.0) flip.Vec2.x;
+  Alcotest.(check (float 0.0)) "y kept" 1.0 flip.Vec2.y;
+  (* Multi-bounce excursions still land inside. *)
+  let p, _ = Bbox.reflect b (Vec2.v 3.7 (-2.3)) in
+  Alcotest.(check bool) "multi-bounce inside" true (Bbox.contains b p);
+  (* Inside points are untouched. *)
+  let p, flip = Bbox.reflect b (Vec2.v 0.4 0.6) in
+  Alcotest.(check vec) "inside unchanged" (Vec2.v 0.4 0.6) p;
+  Alcotest.(check vec) "no flip" (Vec2.v 1.0 1.0) flip
+
+let test_bbox_sample () =
+  let rng = Rng.create ~seed:1 in
+  let b = Bbox.make ~min_x:2.0 ~min_y:3.0 ~max_x:4.0 ~max_y:5.0 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "sample inside" true (Bbox.contains b (Bbox.sample rng b))
+  done
+
+(* Reference implementation for radius queries. *)
+let brute_force_within points center radius =
+  let acc = ref [] in
+  Array.iteri
+    (fun i p -> if Vec2.dist p center <= radius then acc := i :: !acc)
+    points;
+  List.sort Int.compare !acc
+
+let test_grid_index_matches_brute_force () =
+  let rng = Rng.create ~seed:2 in
+  let points =
+    Array.init 400 (fun _ -> Bbox.sample rng Bbox.unit_square)
+  in
+  let index = Grid_index.build ~box:Bbox.unit_square ~cell:0.07 points in
+  Alcotest.(check int) "size" 400 (Grid_index.size index);
+  for _ = 1 to 50 do
+    let center = Bbox.sample rng Bbox.unit_square in
+    let radius = Rng.float rng 0.2 in
+    Alcotest.(check (list int))
+      "radius query matches brute force"
+      (brute_force_within points center radius)
+      (Grid_index.within index center radius)
+  done
+
+let test_grid_index_neighbors_excludes_self () =
+  let points = [| Vec2.v 0.1 0.1; Vec2.v 0.12 0.1; Vec2.v 0.9 0.9 |] in
+  let index = Grid_index.build ~box:Bbox.unit_square ~cell:0.05 points in
+  Alcotest.(check (list int)) "neighbors of 0" [ 1 ]
+    (Grid_index.neighbors index 0 0.05);
+  Alcotest.(check (list int)) "isolated point" []
+    (Grid_index.neighbors index 2 0.05)
+
+let test_grid_index_outliers () =
+  (* Points outside the box are clamped to border cells but still found. *)
+  let points = [| Vec2.v (-0.5) 0.5; Vec2.v (-0.45) 0.5 |] in
+  let index = Grid_index.build ~box:Bbox.unit_square ~cell:0.1 points in
+  Alcotest.(check (list int)) "outlier pair found" [ 1 ]
+    (Grid_index.neighbors index 0 0.1)
+
+let test_grid_index_zero_radius () =
+  let points = [| Vec2.v 0.5 0.5; Vec2.v 0.5 0.5; Vec2.v 0.6 0.5 |] in
+  let index = Grid_index.build ~box:Bbox.unit_square ~cell:0.1 points in
+  Alcotest.(check (list int)) "coincident points at radius 0" [ 0; 1 ]
+    (Grid_index.within index (Vec2.v 0.5 0.5) 0.0)
+
+let test_poisson_count () =
+  let rng = Rng.create ~seed:3 in
+  let total = ref 0 in
+  let draws = 200 in
+  for _ = 1 to draws do
+    total :=
+      !total
+      + Array.length
+          (Point_process.poisson rng ~intensity:100.0 ~box:Bbox.unit_square)
+  done;
+  let mean = float_of_int !total /. float_of_int draws in
+  Alcotest.(check bool) "mean count near intensity" true
+    (Float.abs (mean -. 100.0) < 3.0)
+
+let test_poisson_respects_area () =
+  let rng = Rng.create ~seed:4 in
+  let half = Bbox.make ~min_x:0.0 ~min_y:0.0 ~max_x:0.5 ~max_y:1.0 in
+  let total = ref 0 in
+  for _ = 1 to 200 do
+    total :=
+      !total + Array.length (Point_process.poisson rng ~intensity:100.0 ~box:half)
+  done;
+  let mean = float_of_int !total /. 200.0 in
+  Alcotest.(check bool) "half area halves the count" true
+    (Float.abs (mean -. 50.0) < 3.0)
+
+let test_uniform_count_exact () =
+  let rng = Rng.create ~seed:5 in
+  let pts = Point_process.uniform rng ~count:77 ~box:Bbox.unit_square in
+  Alcotest.(check int) "exact count" 77 (Array.length pts);
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "inside" true (Bbox.contains Bbox.unit_square p))
+    pts
+
+let test_grid_layout () =
+  let pts = Point_process.grid ~cols:4 ~rows:3 ~box:Bbox.unit_square in
+  Alcotest.(check int) "count" 12 (Array.length pts);
+  (* Row-major from the bottom: index 0 is bottom-left, index 3 ends row 0,
+     index 4 starts the next row up. *)
+  Alcotest.(check (float 1e-12)) "first x" 0.125 pts.(0).Vec2.x;
+  Alcotest.(check bool) "row 1 above row 0" true (pts.(4).Vec2.y > pts.(0).Vec2.y);
+  Alcotest.(check bool) "same row same y" true
+    (Float.equal pts.(0).Vec2.y pts.(3).Vec2.y);
+  Alcotest.(check bool) "ids increase left to right" true
+    (pts.(1).Vec2.x > pts.(0).Vec2.x)
+
+let test_jittered_grid_stays_inside () =
+  let rng = Rng.create ~seed:6 in
+  let pts =
+    Point_process.jittered_grid rng ~cols:8 ~rows:8 ~box:Bbox.unit_square
+      ~jitter:0.4
+  in
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "inside" true (Bbox.contains Bbox.unit_square p))
+    pts
+
+let test_cluster_process () =
+  let rng = Rng.create ~seed:7 in
+  let pts =
+    Point_process.cluster_process rng ~parents:10 ~mean_children:20.0
+      ~spread:0.02 ~box:Bbox.unit_square
+  in
+  Alcotest.(check bool) "roughly parents*children points" true
+    (Array.length pts > 100 && Array.length pts < 350);
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "inside" true (Bbox.contains Bbox.unit_square p))
+    pts
+
+let suite =
+  [
+    Alcotest.test_case "vec2 arithmetic" `Quick test_vec_arithmetic;
+    Alcotest.test_case "vec2 norms and distances" `Quick test_vec_norms;
+    Alcotest.test_case "vec2 of_angle" `Quick test_vec_of_angle;
+    Alcotest.test_case "vec2 lerp" `Quick test_vec_lerp;
+    Alcotest.test_case "bbox basics" `Quick test_bbox_basics;
+    Alcotest.test_case "bbox clamp" `Quick test_bbox_clamp;
+    Alcotest.test_case "bbox reflect" `Quick test_bbox_reflect;
+    Alcotest.test_case "bbox sample" `Quick test_bbox_sample;
+    Alcotest.test_case "grid index vs brute force" `Quick
+      test_grid_index_matches_brute_force;
+    Alcotest.test_case "grid index neighbors exclude self" `Quick
+      test_grid_index_neighbors_excludes_self;
+    Alcotest.test_case "grid index clamps outliers" `Quick
+      test_grid_index_outliers;
+    Alcotest.test_case "grid index zero radius" `Quick
+      test_grid_index_zero_radius;
+    Alcotest.test_case "poisson process count" `Slow test_poisson_count;
+    Alcotest.test_case "poisson respects area" `Slow test_poisson_respects_area;
+    Alcotest.test_case "uniform process exact count" `Quick
+      test_uniform_count_exact;
+    Alcotest.test_case "grid layout row-major from bottom" `Quick
+      test_grid_layout;
+    Alcotest.test_case "jittered grid stays inside" `Quick
+      test_jittered_grid_stays_inside;
+    Alcotest.test_case "cluster process" `Quick test_cluster_process;
+  ]

@@ -1,0 +1,135 @@
+module Graph = Ss_topology.Graph
+module Builders = Ss_topology.Builders
+module Traversal = Ss_topology.Traversal
+module Hierarchy = Ss_cluster.Hierarchy
+module Assignment = Ss_cluster.Assignment
+module Algorithm = Ss_cluster.Algorithm
+module Config = Ss_cluster.Config
+module Rng = Ss_prng.Rng
+
+let build ?(seed = 150) ?config graph =
+  let rng = Rng.create ~seed in
+  let ids = Rng.permutation rng (Graph.node_count graph) in
+  Hierarchy.build ?config rng graph ~ids
+
+let geometric seed =
+  let rng = Rng.create ~seed in
+  Builders.random_geometric rng ~intensity:250.0 ~radius:0.1
+
+let test_overlay_structure () =
+  let g = geometric 1 in
+  let rng = Rng.create ~seed:151 in
+  let ids = Rng.permutation rng (Graph.node_count g) in
+  let a = Algorithm.cluster rng Config.basic g ~ids in
+  let overlay, underlying = Hierarchy.overlay_of g a in
+  Alcotest.(check int) "one overlay node per head"
+    (Assignment.cluster_count a)
+    (Graph.node_count overlay);
+  (* Overlay nodes stand for actual heads. *)
+  Array.iter
+    (fun h ->
+      Alcotest.(check bool) "underlying is a head" true (Assignment.is_head a h))
+    underlying;
+  (* Overlay edges connect heads of touching clusters. *)
+  Graph.iter_edges overlay (fun i j ->
+      let hi = underlying.(i) and hj = underlying.(j) in
+      let touching = ref false in
+      Graph.iter_edges g (fun u v ->
+          let hu = Assignment.head a u and hv = Assignment.head a v in
+          if (hu = hi && hv = hj) || (hu = hj && hv = hi) then touching := true);
+      Alcotest.(check bool)
+        (Printf.sprintf "overlay edge %d-%d backed by radio link" hi hj)
+        true !touching)
+
+let test_heads_strictly_decrease () =
+  let h = build (geometric 2) in
+  let counts = Hierarchy.heads_per_level h in
+  let rec strictly_decreasing = function
+    | a :: (b :: _ as rest) -> a > b && strictly_decreasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool)
+    (Fmt.str "strictly decreasing: %a" Fmt.(list ~sep:comma int) counts)
+    true (strictly_decreasing counts)
+
+let test_level_count_consistent () =
+  let h = build (geometric 3) in
+  Alcotest.(check int) "levels = list length"
+    (List.length (Hierarchy.heads_per_level h))
+    (Hierarchy.level_count h)
+
+let test_head_chain_wellformed () =
+  let g = geometric 4 in
+  let h = build g in
+  Graph.iter_nodes g (fun p ->
+      let chain = Hierarchy.head_chain h p in
+      (* One head per level: the chain must reach the top. *)
+      Alcotest.(check int) "chain spans all levels" (Hierarchy.level_count h)
+        (List.length chain);
+      (* First element is the base-level head. *)
+      (match chain with
+      | first :: _ ->
+          Alcotest.(check int) "level-0 head"
+            (Assignment.head h.Hierarchy.base_assignment p)
+            first
+      | [] -> ());
+      (* The chain ends at the claimed top head. *)
+      match List.rev chain with
+      | top :: _ -> Alcotest.(check int) "top head" (Hierarchy.top_head h p) top
+      | [] -> ())
+
+let test_top_head_in_same_component () =
+  let g = geometric 5 in
+  let h = build g in
+  let comp, _ = Traversal.components g in
+  Graph.iter_nodes g (fun p ->
+      Alcotest.(check int) "top head reachable" comp.(p)
+        comp.(Hierarchy.top_head h p))
+
+let test_single_cluster_has_no_upper_levels () =
+  (* A complete graph clusters into one head at level 0: no levels above. *)
+  let g = Builders.complete 10 in
+  let h = build g in
+  Alcotest.(check int) "one level" 1 (Hierarchy.level_count h);
+  Alcotest.(check (list int)) "single head" [ 1 ] (Hierarchy.heads_per_level h)
+
+let test_isolated_nodes () =
+  let g = Graph.of_edges ~n:4 [] in
+  let h = build g in
+  (* Four isolated self-heads; the overlay has no edges, so clustering it
+     cannot shrink: exactly one level. *)
+  Alcotest.(check (list int)) "four heads, no shrink" [ 4 ]
+    (Hierarchy.heads_per_level h)
+
+let test_respects_max_levels () =
+  let g = geometric 6 in
+  let rng = Rng.create ~seed:152 in
+  let ids = Rng.permutation rng (Graph.node_count g) in
+  let h = Hierarchy.build ~max_levels:1 rng g ~ids in
+  Alcotest.(check bool) "at most one extra level" true
+    (Hierarchy.level_count h <= 2)
+
+let test_deterministic () =
+  let g = geometric 7 in
+  let a = build ~seed:9 g and b = build ~seed:9 g in
+  Alcotest.(check (list int)) "same level structure"
+    (Hierarchy.heads_per_level a)
+    (Hierarchy.heads_per_level b)
+
+let suite =
+  [
+    Alcotest.test_case "overlay structure" `Quick test_overlay_structure;
+    Alcotest.test_case "head counts strictly decrease" `Quick
+      test_heads_strictly_decrease;
+    Alcotest.test_case "level count consistent" `Quick
+      test_level_count_consistent;
+    Alcotest.test_case "head chains well-formed" `Quick
+      test_head_chain_wellformed;
+    Alcotest.test_case "top head in the same component" `Quick
+      test_top_head_in_same_component;
+    Alcotest.test_case "single cluster stops the stack" `Quick
+      test_single_cluster_has_no_upper_levels;
+    Alcotest.test_case "isolated nodes" `Quick test_isolated_nodes;
+    Alcotest.test_case "max_levels respected" `Quick test_respects_max_levels;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+  ]

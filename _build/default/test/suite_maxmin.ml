@@ -1,0 +1,134 @@
+module Graph = Ss_topology.Graph
+module Builders = Ss_topology.Builders
+module Traversal = Ss_topology.Traversal
+module Maxmin = Ss_cluster.Maxmin
+module Assignment = Ss_cluster.Assignment
+module Rng = Ss_prng.Rng
+
+let test_single_node () =
+  let g = Graph.of_edges ~n:1 [] in
+  let a = Maxmin.cluster g ~ids:[| 5 |] ~d:2 in
+  Alcotest.(check bool) "own head" true (Assignment.is_head a 0)
+
+let test_complete_graph_one_cluster () =
+  (* In K_n the max id floods everywhere in one round: a single head. *)
+  let g = Builders.complete 8 in
+  let ids = [| 3; 9; 1; 7; 0; 5; 2; 8 |] in
+  let a = Maxmin.cluster g ~ids ~d:1 in
+  Alcotest.(check int) "one cluster" 1 (Assignment.cluster_count a);
+  (* The winner is the node with the largest id (9 at index 1). *)
+  Alcotest.(check bool) "max id heads" true (Assignment.is_head a 1)
+
+let test_heads_within_d_hops () =
+  (* The defining property of max-min: every node is at most d hops from
+     its cluster-head. *)
+  let rng = Rng.create ~seed:80 in
+  List.iter
+    (fun d ->
+      for _ = 1 to 10 do
+        let g = Builders.gnp rng ~n:60 ~p:0.08 in
+        let ids = Rng.permutation rng 60 in
+        let a = Maxmin.cluster g ~ids ~d in
+        Graph.iter_nodes g (fun p ->
+            let h = Assignment.head a p in
+            match Traversal.distance g p h with
+            | Some dist ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "node %d within %d of head %d" p d h)
+                  true (dist <= d)
+            | None -> Alcotest.fail "head unreachable")
+      done)
+    [ 1; 2; 3 ]
+
+let test_validates () =
+  let rng = Rng.create ~seed:81 in
+  for _ = 1 to 20 do
+    let g = Builders.gnp rng ~n:50 ~p:0.1 in
+    let ids = Rng.permutation rng 50 in
+    let a = Maxmin.cluster g ~ids ~d:2 in
+    match Assignment.validate g a with
+    | Ok () -> ()
+    | Error ps ->
+        Alcotest.failf "invalid: %a"
+          Fmt.(list ~sep:comma Assignment.pp_problem)
+          ps
+  done
+
+let test_rule1_winner_sees_own_id () =
+  (* On a path with the max id in the middle, the middle node must elect
+     itself (its id survives floodmax then returns in floodmin). *)
+  let g = Builders.path 5 in
+  let ids = [| 0; 1; 9; 2; 3 |] in
+  let a = Maxmin.cluster g ~ids ~d:2 in
+  Alcotest.(check bool) "node 2 is head" true (Assignment.is_head a 2);
+  Alcotest.(check int) "one cluster" 1 (Assignment.cluster_count a)
+
+let test_logs_shape () =
+  let g = Builders.path 4 in
+  let ids = [| 0; 1; 2; 3 |] in
+  let _, logs = Maxmin.run g ~ids ~d:3 in
+  Alcotest.(check int) "floodmax rounds" 3 (Array.length logs.Maxmin.floodmax);
+  Alcotest.(check int) "floodmin rounds" 3 (Array.length logs.Maxmin.floodmin);
+  (* Floodmax round 3 on a path of 4: everyone has seen the global max. *)
+  Array.iter
+    (fun v -> Alcotest.(check int) "global max everywhere" 3 v)
+    logs.Maxmin.floodmax.(2)
+
+let test_floodmax_monotone () =
+  let rng = Rng.create ~seed:82 in
+  let g = Builders.gnp rng ~n:40 ~p:0.1 in
+  let ids = Rng.permutation rng 40 in
+  let _, logs = Maxmin.run g ~ids ~d:3 in
+  for r = 1 to 2 do
+    Array.iteri
+      (fun p v ->
+        Alcotest.(check bool) "monotone non-decreasing" true
+          (v >= logs.Maxmin.floodmax.(r - 1).(p)))
+      logs.Maxmin.floodmax.(r)
+  done
+
+let test_more_clusters_with_smaller_d () =
+  let rng = Rng.create ~seed:83 in
+  let g = Builders.random_geometric rng ~intensity:200.0 ~radius:0.1 in
+  let n = Graph.node_count g in
+  let ids = Rng.permutation rng n in
+  let count d = Assignment.cluster_count (Maxmin.cluster g ~ids ~d) in
+  Alcotest.(check bool) "d=1 at least as many as d=3" true (count 1 >= count 3)
+
+let test_invalid_args () =
+  let g = Builders.path 3 in
+  Alcotest.check_raises "d=0" (Invalid_argument "Maxmin: d must be >= 1")
+    (fun () -> ignore (Maxmin.cluster g ~ids:[| 0; 1; 2 |] ~d:0));
+  Alcotest.check_raises "ids mismatch"
+    (Invalid_argument "Maxmin: ids length mismatch") (fun () ->
+      ignore (Maxmin.cluster g ~ids:[| 0 |] ~d:1))
+
+let test_disconnected_components_independent () =
+  let g = Graph.of_edges ~n:6 [ (0, 1); (1, 2); (3, 4); (4, 5) ] in
+  let ids = [| 0; 5; 1; 2; 9; 3 |] in
+  let a = Maxmin.cluster g ~ids ~d:2 in
+  (* Each component elects its own head: ids 5 (index 1) and 9 (index 4). *)
+  Alcotest.(check bool) "index 1 heads left component" true
+    (Assignment.is_head a 1);
+  Alcotest.(check bool) "index 4 heads right component" true
+    (Assignment.is_head a 4);
+  Alcotest.(check int) "head of 0 in same component" 1 (Assignment.head a 0);
+  Alcotest.(check int) "head of 5 in same component" 4 (Assignment.head a 5)
+
+let suite =
+  [
+    Alcotest.test_case "single node" `Quick test_single_node;
+    Alcotest.test_case "complete graph: one cluster, max id" `Quick
+      test_complete_graph_one_cluster;
+    Alcotest.test_case "heads within d hops" `Quick test_heads_within_d_hops;
+    Alcotest.test_case "assignments validate" `Quick test_validates;
+    Alcotest.test_case "rule 1: winner sees its own id" `Quick
+      test_rule1_winner_sees_own_id;
+    Alcotest.test_case "flood logs shape" `Quick test_logs_shape;
+    Alcotest.test_case "floodmax is monotone" `Quick test_floodmax_monotone;
+    Alcotest.test_case "smaller d, more clusters" `Quick
+      test_more_clusters_with_smaller_d;
+    Alcotest.test_case "argument validation" `Quick test_invalid_args;
+    Alcotest.test_case "disconnected components" `Quick
+      test_disconnected_components_independent;
+  ]

@@ -1,0 +1,169 @@
+module Model = Ss_mobility.Model
+module Fleet = Ss_mobility.Fleet
+module Vec2 = Ss_geom.Vec2
+module Bbox = Ss_geom.Bbox
+module Rng = Ss_prng.Rng
+
+let box = Bbox.unit_square
+
+let start_positions n =
+  let rng = Rng.create ~seed:100 in
+  Array.init n (fun _ -> Bbox.sample rng box)
+
+let test_static_never_moves () =
+  let rng = Rng.create ~seed:101 in
+  let positions = start_positions 20 in
+  let fleet = Fleet.create rng ~model:Model.static ~box positions in
+  Fleet.step fleet 1000.0;
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check bool) "unmoved" true (Vec2.equal p positions.(i)))
+    (Fleet.positions fleet)
+
+let test_walk_stays_in_box () =
+  let rng = Rng.create ~seed:102 in
+  let model = Model.random_walk ~speed_min:0.01 ~speed_max:0.05 () in
+  let fleet = Fleet.create rng ~model ~box (start_positions 50) in
+  for _ = 1 to 200 do
+    Fleet.step fleet 1.0;
+    Array.iter
+      (fun p -> Alcotest.(check bool) "inside box" true (Bbox.contains box p))
+      (Fleet.positions fleet)
+  done
+
+let test_walk_speed_bound () =
+  let rng = Rng.create ~seed:103 in
+  let vmax = 0.02 in
+  let model = Model.random_walk ~speed_min:0.0 ~speed_max:vmax () in
+  let fleet = Fleet.create rng ~model ~box (start_positions 50) in
+  let dt = 0.5 in
+  let previous = ref (Fleet.positions fleet) in
+  for _ = 1 to 100 do
+    Fleet.step fleet dt;
+    let current = Fleet.positions fleet in
+    Array.iteri
+      (fun i p ->
+        (* Reflection can only shorten the displacement. *)
+        Alcotest.(check bool) "within speed bound" true
+          (Vec2.dist p !previous.(i) <= (vmax *. dt) +. 1e-9))
+      current;
+    previous := current
+  done
+
+let test_walk_actually_moves () =
+  let rng = Rng.create ~seed:104 in
+  let model = Model.random_walk ~speed_min:0.01 ~speed_max:0.02 () in
+  let positions = start_positions 20 in
+  let fleet = Fleet.create rng ~model ~box positions in
+  Fleet.step fleet 10.0;
+  let moved = ref 0 in
+  Array.iteri
+    (fun i p -> if Vec2.dist p positions.(i) > 1e-6 then incr moved)
+    (Fleet.positions fleet);
+  Alcotest.(check int) "all nodes moved" 20 !moved
+
+let test_waypoint_stays_in_box_and_moves () =
+  let rng = Rng.create ~seed:105 in
+  let model = Model.random_waypoint ~pause:0.5 ~speed_min:0.02 ~speed_max:0.05 () in
+  let positions = start_positions 30 in
+  let fleet = Fleet.create rng ~model ~box positions in
+  for _ = 1 to 100 do
+    Fleet.step fleet 1.0;
+    Array.iter
+      (fun p -> Alcotest.(check bool) "inside" true (Bbox.contains box p))
+      (Fleet.positions fleet)
+  done;
+  let moved = ref 0 in
+  Array.iteri
+    (fun i p -> if Vec2.dist p positions.(i) > 1e-6 then incr moved)
+    (Fleet.positions fleet);
+  Alcotest.(check bool) "most nodes moved" true (!moved > 25)
+
+let test_waypoint_zero_speed_safe () =
+  (* A degenerate all-zero speed range must not hang the stepper. *)
+  let rng = Rng.create ~seed:106 in
+  let model = Model.random_waypoint ~speed_min:0.0 ~speed_max:0.0 () in
+  let fleet = Fleet.create rng ~model ~box (start_positions 5) in
+  Fleet.step fleet 5.0;
+  Alcotest.(check int) "still five nodes" 5 (Fleet.size fleet)
+
+let test_trajectories_deterministic () =
+  let run () =
+    let rng = Rng.create ~seed:107 in
+    let model = Model.pedestrian in
+    let fleet = Fleet.create rng ~model ~box (start_positions 10) in
+    Fleet.step fleet 30.0;
+    Fleet.positions fleet
+  in
+  let a = run () and b = run () in
+  Array.iteri
+    (fun i p -> Alcotest.(check bool) "same trajectory" true (Vec2.equal p b.(i)))
+    a
+
+let test_step_size_invariance_static_phases () =
+  (* Many small steps must agree with one large step while a node stays
+     within a single leg (no re-draw): use an enormous leg duration. *)
+  let make () =
+    let rng = Rng.create ~seed:108 in
+    let model =
+      Model.random_walk ~mean_leg_duration:1.0e9 ~speed_min:0.01
+        ~speed_max:0.01 ()
+    in
+    Fleet.create rng ~model ~box (start_positions 5)
+  in
+  let coarse = make () in
+  Fleet.step coarse 1.0;
+  let fine = make () in
+  for _ = 1 to 10 do
+    Fleet.step fine 0.1
+  done;
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check bool) "paths agree" true
+        (Vec2.dist p (Fleet.position fine i) < 1e-9))
+    (Fleet.positions coarse)
+
+let test_paper_regimes () =
+  (match Model.pedestrian with
+  | Model.Random_walk { Model.speed_max; _ } ->
+      Alcotest.(check (float 1e-12)) "1.6 m/s in unit coords" 0.0016 speed_max
+  | Model.Static | Model.Random_waypoint _ -> Alcotest.fail "expected walk");
+  match Model.vehicular with
+  | Model.Random_walk { Model.speed_max; _ } ->
+      Alcotest.(check (float 1e-12)) "10 m/s in unit coords" 0.01 speed_max
+  | Model.Static | Model.Random_waypoint _ -> Alcotest.fail "expected walk"
+
+let test_model_validation () =
+  Alcotest.check_raises "inverted speeds"
+    (Invalid_argument "Mobility: invalid speed range") (fun () ->
+      ignore (Model.random_walk ~speed_min:2.0 ~speed_max:1.0 ()));
+  Alcotest.check_raises "negative pause"
+    (Invalid_argument "Mobility.random_waypoint: negative pause") (fun () ->
+      ignore (Model.random_waypoint ~pause:(-1.0) ~speed_min:0.0 ~speed_max:1.0 ()))
+
+let test_negative_step_rejected () =
+  let rng = Rng.create ~seed:109 in
+  let fleet = Fleet.create rng ~model:Model.static ~box (start_positions 3) in
+  Alcotest.check_raises "negative dt"
+    (Invalid_argument "Fleet.step: negative time step") (fun () ->
+      Fleet.step fleet (-1.0))
+
+let suite =
+  [
+    Alcotest.test_case "static never moves" `Quick test_static_never_moves;
+    Alcotest.test_case "walk stays in the box" `Quick test_walk_stays_in_box;
+    Alcotest.test_case "walk respects the speed bound" `Quick
+      test_walk_speed_bound;
+    Alcotest.test_case "walk actually moves" `Quick test_walk_actually_moves;
+    Alcotest.test_case "waypoint stays in box and moves" `Quick
+      test_waypoint_stays_in_box_and_moves;
+    Alcotest.test_case "waypoint zero speed safe" `Quick
+      test_waypoint_zero_speed_safe;
+    Alcotest.test_case "trajectories deterministic" `Quick
+      test_trajectories_deterministic;
+    Alcotest.test_case "step-size invariance within a leg" `Quick
+      test_step_size_invariance_static_phases;
+    Alcotest.test_case "paper speed regimes" `Quick test_paper_regimes;
+    Alcotest.test_case "model validation" `Quick test_model_validation;
+    Alcotest.test_case "negative step rejected" `Quick test_negative_step_rejected;
+  ]

@@ -1,0 +1,122 @@
+module Order = Ss_cluster.Order
+module Density = Ss_cluster.Density
+module Rng = Ss_prng.Rng
+
+let key ?(incumbent = false) ~links ~nodes id =
+  Order.key ~value:(Density.make ~links ~nodes) ~id ~incumbent
+
+let test_density_dominates () =
+  (* Higher density always wins, regardless of ids and incumbency. *)
+  let low = key ~links:1 ~nodes:1 ~incumbent:true 0 in
+  let high = key ~links:3 ~nodes:2 ~incumbent:false 99 in
+  List.iter
+    (fun tie ->
+      Alcotest.(check bool) "low ≺ high" true (Order.precedes ~tie low high);
+      Alcotest.(check bool) "high ⊀ low" false (Order.precedes ~tie high low))
+    [ Order.Id_only; Order.Incumbent_then_id ]
+
+let test_id_tie_break_smaller_wins () =
+  (* The paper: p ≺ q iff d_p = d_q and Id_q < Id_p — smaller id is greater. *)
+  let a = key ~links:2 ~nodes:2 3 and b = key ~links:2 ~nodes:2 7 in
+  Alcotest.(check bool) "larger id precedes" true
+    (Order.precedes ~tie:Order.Id_only b a);
+  Alcotest.(check bool) "smaller id wins" false
+    (Order.precedes ~tie:Order.Id_only a b)
+
+let test_incumbent_beats_challenger () =
+  let head = key ~links:2 ~nodes:2 ~incumbent:true 9 in
+  let challenger = key ~links:2 ~nodes:2 ~incumbent:false 1 in
+  (* Under Id_only the challenger's smaller id would win... *)
+  Alcotest.(check bool) "id rule favors challenger" true
+    (Order.precedes ~tie:Order.Id_only head challenger);
+  (* ...but the incumbent rule protects the current head. *)
+  Alcotest.(check bool) "incumbent protected" true
+    (Order.precedes ~tie:Order.Incumbent_then_id challenger head);
+  Alcotest.(check bool) "challenger does not beat head" false
+    (Order.precedes ~tie:Order.Incumbent_then_id head challenger)
+
+let test_two_incumbents_fall_back_to_ids () =
+  (* Totality completion: the paper leaves two equal-density incumbents
+     incomparable; we use the id rule. *)
+  let a = key ~links:2 ~nodes:2 ~incumbent:true 3 in
+  let b = key ~links:2 ~nodes:2 ~incumbent:true 7 in
+  Alcotest.(check bool) "b ≺ a (smaller id wins)" true
+    (Order.precedes ~tie:Order.Incumbent_then_id b a)
+
+let test_equal_keys_compare_zero () =
+  let a = key ~links:2 ~nodes:2 5 in
+  List.iter
+    (fun tie -> Alcotest.(check int) "reflexive" 0 (Order.compare ~tie a a))
+    [ Order.Id_only; Order.Incumbent_then_id ]
+
+let random_key rng =
+  key
+    ~links:(Rng.int rng 20)
+    ~nodes:(1 + Rng.int rng 6)
+    ~incumbent:(Rng.bool rng)
+    (Rng.int rng 1000)
+
+let test_total_order_properties () =
+  let rng = Rng.create ~seed:33 in
+  List.iter
+    (fun tie ->
+      for _ = 1 to 2000 do
+        let a = random_key rng and b = random_key rng and c = random_key rng in
+        Alcotest.(check int) "antisymmetry" (Order.compare ~tie a b)
+          (-Order.compare ~tie b a);
+        if Order.compare ~tie a b <= 0 && Order.compare ~tie b c <= 0 then
+          Alcotest.(check bool) "transitivity" true (Order.compare ~tie a c <= 0)
+      done)
+    [ Order.Id_only; Order.Incumbent_then_id ]
+
+let test_totality_on_distinct_ids () =
+  let rng = Rng.create ~seed:34 in
+  List.iter
+    (fun tie ->
+      for _ = 1 to 1000 do
+        let a = random_key rng and b = random_key rng in
+        if a.Order.id <> b.Order.id then
+          Alcotest.(check bool) "strictly ordered" true
+            (Order.compare ~tie a b <> 0)
+      done)
+    [ Order.Id_only; Order.Incumbent_then_id ]
+
+let test_max_key () =
+  let tie = Order.Id_only in
+  Alcotest.(check bool) "empty" true (Order.max_key ~tie [] = None);
+  let a = key ~links:1 ~nodes:1 5
+  and b = key ~links:3 ~nodes:2 9
+  and c = key ~links:3 ~nodes:2 1 in
+  (match Order.max_key ~tie [ a; b; c ] with
+  | Some m -> Alcotest.(check int) "max is c (density tie, smaller id)" 1 m.Order.id
+  | None -> Alcotest.fail "expected max");
+  match Order.max_key ~tie [ a ] with
+  | Some m -> Alcotest.(check int) "singleton" 5 m.Order.id
+  | None -> Alcotest.fail "expected singleton max"
+
+let test_paper_order_definition () =
+  (* Spot-check the formula p ≺ q iff d_p < d_q or (d_p = d_q and Id_q < Id_p)
+     against a concrete instance from the worked example: f and j tie at
+     density 3/2 with Id_j < Id_f, so f ≺ j. *)
+  let f = key ~links:3 ~nodes:2 6 and j = key ~links:3 ~nodes:2 5 in
+  Alcotest.(check bool) "f ≺ j" true (Order.precedes ~tie:Order.Id_only f j)
+
+let suite =
+  [
+    Alcotest.test_case "density dominates ids and incumbency" `Quick
+      test_density_dominates;
+    Alcotest.test_case "smaller id wins ties" `Quick
+      test_id_tie_break_smaller_wins;
+    Alcotest.test_case "incumbent beats challenger at equal density" `Quick
+      test_incumbent_beats_challenger;
+    Alcotest.test_case "two incumbents fall back to ids" `Quick
+      test_two_incumbents_fall_back_to_ids;
+    Alcotest.test_case "reflexivity" `Quick test_equal_keys_compare_zero;
+    Alcotest.test_case "antisymmetry and transitivity" `Quick
+      test_total_order_properties;
+    Alcotest.test_case "totality on distinct ids" `Quick
+      test_totality_on_distinct_ids;
+    Alcotest.test_case "max over keys" `Quick test_max_key;
+    Alcotest.test_case "paper's ≺ on the f/j tie" `Quick
+      test_paper_order_definition;
+  ]

@@ -1,0 +1,128 @@
+(* Validation against the paper's worked example (Figure 1 / Table 1).
+
+   The reconstruction matches the running text exactly and 9 of the 10
+   Table 1 columns; node d's published column (4 neighbors / 5 links) is
+   inconsistent with the text-fixed neighborhoods of a, b, c, e, h, i and is
+   reproduced as 3/3 (density 1.0) — see Builders.paper_example. *)
+
+module Graph = Ss_topology.Graph
+module Builders = Ss_topology.Builders
+module Density = Ss_cluster.Density
+module Config = Ss_cluster.Config
+module Algorithm = Ss_cluster.Algorithm
+module Assignment = Ss_cluster.Assignment
+
+let graph, names, ids = Builders.paper_example ()
+
+let idx name =
+  let rec find i =
+    if i >= Array.length names then failwith ("unknown node " ^ name)
+    else if String.equal names.(i) name then i
+    else find (i + 1)
+  in
+  find 0
+
+let check_density name expected_links expected_nodes () =
+  let d = Density.compute graph (idx name) in
+  Alcotest.(check int) (name ^ " links") expected_links (Density.links d);
+  Alcotest.(check int) (name ^ " neighbors") expected_nodes (Density.nodes d)
+
+let table1 =
+  (* name, neighbors, links — Table 1 of the paper (d adjusted, g added). *)
+  [
+    ("a", 2, 2);
+    ("b", 4, 5);
+    ("c", 1, 1);
+    ("d", 3, 3);
+    ("e", 1, 1);
+    ("f", 2, 3);
+    ("g", 3, 4);
+    ("h", 2, 3);
+    ("i", 4, 5);
+    ("j", 2, 3);
+  ]
+
+let density_cases =
+  List.map
+    (fun (name, nodes, links) ->
+      Alcotest.test_case
+        (Printf.sprintf "density of %s is %d/%d" name links nodes)
+        `Quick
+        (check_density name links nodes))
+    table1
+
+let run_basic () =
+  let rng = Ss_prng.Rng.create ~seed:1 in
+  Algorithm.run rng Config.basic graph ~ids
+
+let test_density_values () =
+  (* Float values as printed in Table 1. *)
+  let expect =
+    [
+      ("a", 1.0); ("b", 1.25); ("c", 1.0); ("e", 1.0); ("f", 1.5);
+      ("h", 1.5); ("i", 1.25); ("j", 1.5);
+    ]
+  in
+  List.iter
+    (fun (name, v) ->
+      let d = Density.to_float (Density.compute graph (idx name)) in
+      Alcotest.(check (float 1e-9)) (name ^ " density value") v d)
+    expect
+
+let test_two_clusters () =
+  let outcome = run_basic () in
+  Alcotest.(check bool) "converged" true outcome.Algorithm.converged;
+  let heads = Assignment.heads outcome.Algorithm.assignment in
+  Alcotest.(check (list int))
+    "heads are h and j"
+    (List.sort Int.compare [ idx "h"; idx "j" ])
+    heads
+
+let test_membership () =
+  let a = (run_basic ()).Algorithm.assignment in
+  let cluster_of name = Assignment.head a (idx name) in
+  List.iter
+    (fun n ->
+      Alcotest.(check int) (n ^ " in h's cluster") (idx "h") (cluster_of n))
+    [ "a"; "b"; "c"; "d"; "e"; "h"; "i" ];
+  List.iter
+    (fun n ->
+      Alcotest.(check int) (n ^ " in j's cluster") (idx "j") (cluster_of n))
+    [ "f"; "g"; "j" ]
+
+let test_parents () =
+  let a = (run_basic ()).Algorithm.assignment in
+  let parent_of name = Assignment.parent a (idx name) in
+  (* The parent relations stated by the running text. *)
+  Alcotest.(check int) "F(c) = b" (idx "b") (parent_of "c");
+  Alcotest.(check int) "F(b) = h" (idx "h") (parent_of "b");
+  Alcotest.(check int) "F(h) = h" (idx "h") (parent_of "h");
+  Alcotest.(check int) "F(f) = j (tie broken by smaller id)" (idx "j")
+    (parent_of "f");
+  Alcotest.(check int) "F(j) = j" (idx "j") (parent_of "j")
+
+let test_tie_assumption () =
+  (* The paper assumes Id_j < Id_f for the f/j density tie. *)
+  Alcotest.(check bool) "Id_j < Id_f" true (ids.(idx "j") < ids.(idx "f"))
+
+let test_validates () =
+  let a = (run_basic ()).Algorithm.assignment in
+  match Assignment.validate graph a with
+  | Ok () -> ()
+  | Error problems ->
+      Alcotest.failf "invalid assignment: %a"
+        Fmt.(list ~sep:comma Assignment.pp_problem)
+        problems
+
+let suite =
+  density_cases
+  @ [
+      Alcotest.test_case "Table 1 density values" `Quick test_density_values;
+      Alcotest.test_case "two clusters headed by h and j" `Quick
+        test_two_clusters;
+      Alcotest.test_case "cluster membership matches Figure 1" `Quick
+        test_membership;
+      Alcotest.test_case "parent pointers match the text" `Quick test_parents;
+      Alcotest.test_case "id assumption Id_j < Id_f" `Quick test_tie_assumption;
+      Alcotest.test_case "assignment validates" `Quick test_validates;
+    ]

@@ -1,0 +1,101 @@
+(* Pinned end-to-end values at fixed seeds. These are not correctness
+   oracles — the behavioural properties live in the other suites — but
+   tripwires: any unintended change to the PRNG streams, the deployment
+   processes, the density metric, the ≺ order or the election rules moves
+   at least one of these numbers. Update them deliberately when semantics
+   change on purpose. *)
+
+module Rng = Ss_prng.Rng
+module Builders = Ss_topology.Builders
+module Graph = Ss_topology.Graph
+module C = Ss_cluster
+
+(* The shared fixture: a seeded random geometric world. All draws happen in
+   a fixed order, so every pinned value below is deterministic. *)
+let world () =
+  let rng = Rng.create ~seed:1234 in
+  let g = Builders.random_geometric rng ~intensity:300.0 ~radius:0.1 in
+  let ids = C.Algorithm.shuffled_ids rng g in
+  (rng, g, ids)
+
+let test_world_shape () =
+  let _, g, _ = world () in
+  Alcotest.(check int) "nodes" 306 (Graph.node_count g);
+  Alcotest.(check int) "edges" 1432 (Graph.edge_count g);
+  Alcotest.(check int) "max degree" 22 (Graph.max_degree g)
+
+let test_density_sum () =
+  let _, g, _ = world () in
+  let total =
+    Array.fold_left
+      (fun acc d -> acc +. C.Density.to_float d)
+      0.0
+      (C.Density.compute_all g)
+  in
+  Alcotest.(check (float 1e-6)) "density mass" 1083.549868 total
+
+let test_basic_run () =
+  let rng, g, ids = world () in
+  let outcome = C.Algorithm.run rng C.Config.basic g ~ids in
+  Alcotest.(check int) "clusters" 15
+    (C.Assignment.cluster_count outcome.C.Algorithm.assignment);
+  Alcotest.(check int) "rounds" 6 outcome.C.Algorithm.rounds
+
+let test_improved_run () =
+  let rng, g, ids = world () in
+  let _ = C.Algorithm.run rng C.Config.basic g ~ids in
+  let outcome =
+    C.Algorithm.run ~scheduler:C.Algorithm.Sequential rng C.Config.improved g
+      ~ids
+  in
+  Alcotest.(check int) "clusters" 14
+    (C.Assignment.cluster_count outcome.C.Algorithm.assignment)
+
+let test_dag_run () =
+  let rng, g, ids = world () in
+  let _ = C.Algorithm.run rng C.Config.basic g ~ids in
+  let _ =
+    C.Algorithm.run ~scheduler:C.Algorithm.Sequential rng C.Config.improved g
+      ~ids
+  in
+  let outcome = C.Algorithm.run rng C.Config.with_dag g ~ids in
+  match outcome.C.Algorithm.dag with
+  | Some d ->
+      Alcotest.(check int) "N1 steps" 2 d.C.Dag_id.steps;
+      Alcotest.(check int) "gamma = 22^2" 484 d.C.Dag_id.gamma_size;
+      Alcotest.(check int) "clusters" 15
+        (C.Assignment.cluster_count outcome.C.Algorithm.assignment)
+  | None -> Alcotest.fail "expected DAG result"
+
+let test_grid_runs () =
+  let gg = Builders.geometric_grid ~cols:16 ~rows:16 ~radius:0.1 in
+  let gids = Array.init 256 Fun.id in
+  let rng = Rng.create ~seed:99 in
+  let basic = C.Algorithm.run rng C.Config.basic gg ~ids:gids in
+  Alcotest.(check int) "grid basic clusters" 1
+    (C.Assignment.cluster_count basic.C.Algorithm.assignment);
+  Alcotest.(check int) "grid basic rounds" 15 basic.C.Algorithm.rounds;
+  Alcotest.(check int) "grid basic tree" 14
+    (C.Metrics.max_tree_length basic.C.Algorithm.assignment);
+  let dag = C.Algorithm.run rng C.Config.with_dag gg ~ids:gids in
+  Alcotest.(check int) "grid dag clusters" 27
+    (C.Assignment.cluster_count dag.C.Algorithm.assignment);
+  Alcotest.(check int) "grid dag rounds" 4 dag.C.Algorithm.rounds
+
+let test_maxmin_run () =
+  let rng = Rng.create ~seed:55 in
+  let g = Builders.gnp rng ~n:80 ~p:0.06 in
+  let ids = Rng.permutation rng 80 in
+  Alcotest.(check int) "maxmin clusters" 17
+    (C.Assignment.cluster_count (C.Maxmin.cluster g ~ids ~d:2))
+
+let suite =
+  [
+    Alcotest.test_case "pinned world shape" `Quick test_world_shape;
+    Alcotest.test_case "pinned density mass" `Quick test_density_sum;
+    Alcotest.test_case "pinned basic run" `Quick test_basic_run;
+    Alcotest.test_case "pinned improved run" `Quick test_improved_run;
+    Alcotest.test_case "pinned DAG run" `Quick test_dag_run;
+    Alcotest.test_case "pinned grid runs" `Quick test_grid_runs;
+    Alcotest.test_case "pinned max-min run" `Quick test_maxmin_run;
+  ]

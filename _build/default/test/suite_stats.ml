@@ -1,0 +1,114 @@
+module Summary = Ss_stats.Summary
+module Table = Ss_stats.Table
+
+let test_empty_summary () =
+  let s = Summary.create () in
+  Alcotest.(check int) "count" 0 (Summary.count s);
+  Alcotest.(check bool) "mean is nan" true (Float.is_nan (Summary.mean s))
+
+let test_single_value () =
+  let s = Summary.of_list [ 42.0 ] in
+  Alcotest.(check (float 0.0)) "mean" 42.0 (Summary.mean s);
+  Alcotest.(check (float 0.0)) "variance" 0.0 (Summary.variance s);
+  Alcotest.(check (float 0.0)) "min" 42.0 (Summary.minimum s);
+  Alcotest.(check (float 0.0)) "max" 42.0 (Summary.maximum s)
+
+let test_known_statistics () =
+  let s = Summary.of_list [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Summary.mean s);
+  (* Sample variance with n-1 = 32/7. *)
+  Alcotest.(check (float 1e-9)) "variance" (32.0 /. 7.0) (Summary.variance s);
+  Alcotest.(check (float 0.0)) "min" 2.0 (Summary.minimum s);
+  Alcotest.(check (float 0.0)) "max" 9.0 (Summary.maximum s)
+
+let test_merge_equals_pooled () =
+  let xs = [ 1.0; 2.0; 3.0; 10.0 ] and ys = [ 4.0; 5.0; 6.0; 7.0; 8.0 ] in
+  let merged = Summary.merge (Summary.of_list xs) (Summary.of_list ys) in
+  let pooled = Summary.of_list (xs @ ys) in
+  Alcotest.(check int) "count" (Summary.count pooled) (Summary.count merged);
+  Alcotest.(check (float 1e-9)) "mean" (Summary.mean pooled) (Summary.mean merged);
+  Alcotest.(check (float 1e-9)) "variance" (Summary.variance pooled)
+    (Summary.variance merged);
+  Alcotest.(check (float 0.0)) "min" (Summary.minimum pooled)
+    (Summary.minimum merged);
+  Alcotest.(check (float 0.0)) "max" (Summary.maximum pooled)
+    (Summary.maximum merged)
+
+let test_merge_with_empty () =
+  let s = Summary.of_list [ 1.0; 2.0 ] in
+  let m = Summary.merge (Summary.create ()) s in
+  Alcotest.(check (float 1e-9)) "mean kept" 1.5 (Summary.mean m);
+  let m = Summary.merge s (Summary.create ()) in
+  Alcotest.(check (float 1e-9)) "mean kept (right empty)" 1.5 (Summary.mean m)
+
+let test_ci_shrinks () =
+  let narrow = Summary.of_list (List.init 1000 (fun i -> float_of_int (i mod 10))) in
+  let wide = Summary.of_list (List.init 10 (fun i -> float_of_int i)) in
+  Alcotest.(check bool) "more samples, tighter CI" true
+    (Summary.ci95 narrow < Summary.ci95 wide)
+
+let test_add_int () =
+  let s = Summary.create () in
+  Summary.add_int s 3;
+  Summary.add_int s 5;
+  Alcotest.(check (float 1e-9)) "mean" 4.0 (Summary.mean s)
+
+let sample_table () =
+  let t =
+    Table.create ~title:"T" ~header:[ "name"; "value" ]
+      ~aligns:[ Table.Left; Table.Right ] ()
+  in
+  Table.add_rows t [ [ "alpha"; "1" ]; [ "beta"; "22" ] ]
+
+let contains_substring haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec scan i =
+    if i + nl > hl then false
+    else if String.equal (String.sub haystack i nl) needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let test_table_render () =
+  let s = Table.render (sample_table ()) in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  Alcotest.(check bool) "contains alpha row" true
+    (contains_substring s "| alpha |");
+  Alcotest.(check bool) "right-aligns value" true
+    (contains_substring s "|     1 |")
+
+let test_table_cell_mismatch () =
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Table.add_row: cell count mismatch") (fun () ->
+      ignore (Table.add_row (sample_table ()) [ "only-one" ]))
+
+let test_table_csv () =
+  let csv = Table.to_csv (sample_table ()) in
+  Alcotest.(check string) "csv" "name,value\nalpha,1\nbeta,22\n" csv
+
+let test_table_csv_escaping () =
+  let t = Table.create ~title:"T" ~header:[ "a" ] () in
+  let t = Table.add_row t [ "has,comma \"and quotes\"" ] in
+  Alcotest.(check string) "escaped" "a\n\"has,comma \"\"and quotes\"\"\"\n"
+    (Table.to_csv t)
+
+let test_cell_formatting () =
+  Alcotest.(check string) "float" "3.14" (Table.cell_float ~decimals:2 3.14159);
+  Alcotest.(check string) "nan" "-" (Table.cell_float Float.nan);
+  Alcotest.(check string) "int" "7" (Table.cell_int 7)
+
+let suite =
+  [
+    Alcotest.test_case "empty summary" `Quick test_empty_summary;
+    Alcotest.test_case "single value" `Quick test_single_value;
+    Alcotest.test_case "known statistics" `Quick test_known_statistics;
+    Alcotest.test_case "merge equals pooled" `Quick test_merge_equals_pooled;
+    Alcotest.test_case "merge with empty" `Quick test_merge_with_empty;
+    Alcotest.test_case "CI shrinks with samples" `Quick test_ci_shrinks;
+    Alcotest.test_case "add_int" `Quick test_add_int;
+    Alcotest.test_case "table renders" `Quick test_table_render;
+    Alcotest.test_case "table arity check" `Quick test_table_cell_mismatch;
+    Alcotest.test_case "table to CSV" `Quick test_table_csv;
+    Alcotest.test_case "CSV escaping" `Quick test_table_csv_escaping;
+    Alcotest.test_case "cell formatting" `Quick test_cell_formatting;
+  ]

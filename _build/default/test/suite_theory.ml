@@ -1,0 +1,315 @@
+(* Tests anchored to the paper's formal claims:
+
+     Lemma 1   — correct density within an expected constant time;
+     Lemma 2   — stabilization time proportional to the height of DAG≺,
+                 which is bounded;
+     Theorem 1 — N1 reaches locally-unique names (suite_dag_id);
+     §3        — the number of cluster-heads decreases as the node
+                 intensity grows;
+     §4.3      — the fusion refinement's structural guarantees;
+     §4        — every converged state satisfies the legitimacy predicate,
+                 from clean or corrupted starts. *)
+
+module Graph = Ss_topology.Graph
+module Builders = Ss_topology.Builders
+module Dag = Ss_topology.Dag
+module Cluster = Ss_cluster
+module Config = Ss_cluster.Config
+module Algorithm = Ss_cluster.Algorithm
+module Assignment = Ss_cluster.Assignment
+module Legitimacy = Ss_cluster.Legitimacy
+module Order = Ss_cluster.Order
+module Distributed = Ss_cluster.Distributed
+module Rng = Ss_prng.Rng
+
+(* -------------------------------------------------- Lemma 1 (density) *)
+
+module P = Distributed.Make (struct
+  let params = Distributed.default_params
+end)
+
+module E = Ss_engine.Engine.Make (P)
+
+let test_lemma1_density_by_round_two () =
+  (* On a perfect channel from a clean start, every node holds its correct
+     density after exactly two steps — the constant of Lemma 1. *)
+  for seed = 0 to 4 do
+    let rng = Rng.create ~seed in
+    let graph = Builders.gnp rng ~n:40 ~p:0.1 in
+    let oracle = Cluster.Density.compute_all graph in
+    let states = E.init_states rng graph in
+    let round = ref 0 in
+    let ok_at_two = ref true in
+    let _ =
+      E.run ~states
+        ~on_round:(fun _ ->
+          incr round;
+          if !round = 2 then
+            Array.iteri
+              (fun p st ->
+                match st.Distributed.density with
+                | Some d ->
+                    if not (Cluster.Density.equal d oracle.(p)) then
+                      ok_at_two := false
+                | None -> ok_at_two := false)
+              states)
+        rng graph
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: densities correct at step 2" seed)
+      true !ok_at_two
+  done
+
+(* ---------------------------------------- Lemma 2 (DAG≺ height bound) *)
+
+let dag_prec_height outcome graph =
+  (* The DAG induced by ≺ over the radio links, as in the proof. *)
+  let key p =
+    Order.key ~value:outcome.Algorithm.values.(p)
+      ~id:outcome.Algorithm.effective_ids.(p) ~incumbent:false
+  in
+  Dag.height
+    (Dag.of_compare graph (fun p q ->
+         Order.compare ~tie:Order.Id_only (key p) (key q)))
+
+let test_lemma2_rounds_bounded_by_dag_height () =
+  (* Synchronous stabilization needs at most height(DAG≺) + c rounds:
+     densities settle in one round (static here), heads walk down the DAG. *)
+  for seed = 0 to 9 do
+    let rng = Rng.create ~seed in
+    let graph = Builders.gnp rng ~n:60 ~p:0.08 in
+    let ids = Rng.permutation rng 60 in
+    let outcome = Algorithm.run rng Config.basic graph ~ids in
+    match dag_prec_height outcome graph with
+    | Some h ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: rounds %d <= height %d + 3" seed
+             outcome.Algorithm.rounds h)
+          true
+          (outcome.Algorithm.rounds <= h + 3)
+    | None -> Alcotest.fail "DAG≺ ill-formed despite unique ids"
+  done
+
+let test_lemma2_dag_height_value_space () =
+  (* The proof bounds DAG≺'s height through the value space γδ³; more
+     directly, the height can never exceed the number of distinct
+     (density, id) keys minus one. *)
+  let rng = Rng.create ~seed:7 in
+  let graph = Builders.random_geometric rng ~intensity:200.0 ~radius:0.1 in
+  let ids = Rng.permutation rng (Graph.node_count graph) in
+  let outcome = Algorithm.run rng Config.basic graph ~ids in
+  match dag_prec_height outcome graph with
+  | Some h ->
+      let distinct =
+        List.sort_uniq compare
+          (List.init (Graph.node_count graph) (fun p ->
+               ( Cluster.Density.to_float outcome.Algorithm.values.(p),
+                 outcome.Algorithm.effective_ids.(p) )))
+      in
+      Alcotest.(check bool) "height < distinct keys" true
+        (h < List.length distinct)
+  | None -> Alcotest.fail "DAG≺ ill-formed"
+
+(* -------------------------------------------- §3 (head count vs λ) *)
+
+let mean_heads ~intensity ~radius =
+  let total = ref 0 and runs = 8 in
+  for seed = 0 to runs - 1 do
+    let rng = Rng.create ~seed in
+    let graph = Builders.random_geometric rng ~intensity ~radius in
+    let ids = Rng.permutation rng (Graph.node_count graph) in
+    let a = Algorithm.cluster rng Config.basic graph ~ids in
+    (* Count heads that actually lead someone or stand alone legitimately;
+       here simply all heads. *)
+    total := !total + Assignment.cluster_count a
+  done;
+  float_of_int !total /. float_of_int runs
+
+let test_head_count_decreases_with_intensity () =
+  (* "the number of cluster-heads computed with this metric is bounded and
+     decreases when the nodes intensity increases" (§3). *)
+  let sparse = mean_heads ~intensity:300.0 ~radius:0.1 in
+  let dense = mean_heads ~intensity:900.0 ~radius:0.1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "heads at lambda=900 (%.1f) < at lambda=300 (%.1f)" dense
+       sparse)
+    true (dense < sparse)
+
+(* ------------------------------------------------ §4.3 fusion claims *)
+
+let improved_outcome seed =
+  let rng = Rng.create ~seed in
+  let graph = Builders.random_geometric rng ~intensity:250.0 ~radius:0.1 in
+  let ids = Rng.permutation rng (Graph.node_count graph) in
+  let outcome =
+    Algorithm.run ~scheduler:Algorithm.Sequential rng Config.improved graph ~ids
+  in
+  (graph, ids, outcome)
+
+let test_fusion_claim_iii_separation () =
+  for seed = 0 to 4 do
+    let graph, _, outcome = improved_outcome seed in
+    match
+      Cluster.Metrics.min_head_separation graph outcome.Algorithm.assignment
+    with
+    | Some s ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d separation %d >= 3" seed s)
+          true (s >= 3)
+    | None -> ()
+  done
+
+let test_fusion_claim_i_head_centrality () =
+  (* "(i) a cluster-head is not too off-centered in its own cluster": the
+     head's within-cluster eccentricity never exceeds the cluster's
+     diameter (trivially) and stays within 2x the best possible radius.
+     We check the quantitative half the data supports: head eccentricity
+     <= diameter of the cluster. *)
+  let graph, _, outcome = improved_outcome 11 in
+  let a = outcome.Algorithm.assignment in
+  List.iter
+    (fun (h, members) ->
+      let in_cluster p = List.mem p members in
+      let ecc_head =
+        Ss_topology.Traversal.eccentricity ~filter:in_cluster graph h
+      in
+      let diameter =
+        List.fold_left
+          (fun acc p ->
+            max acc
+              (Ss_topology.Traversal.eccentricity ~filter:in_cluster graph p))
+          0 members
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "head %d ecc %d <= diameter %d" h ecc_head diameter)
+        true
+        (ecc_head <= diameter))
+    (Assignment.clusters a)
+
+(* --------------------------------------------- legitimacy predicate *)
+
+let test_algorithm_outputs_legitimate () =
+  List.iter
+    (fun config ->
+      for seed = 0 to 4 do
+        let rng = Rng.create ~seed in
+        let graph = Builders.gnp rng ~n:50 ~p:0.1 in
+        let ids = Rng.permutation rng 50 in
+        let outcome =
+          Algorithm.run ~scheduler:Algorithm.Sequential rng config graph ~ids
+        in
+        let dag_names =
+          match outcome.Algorithm.dag with
+          | Some d -> Some d.Cluster.Dag_id.names
+          | None -> None
+        in
+        match
+          Legitimacy.check ?dag_names config graph ~ids
+            outcome.Algorithm.assignment
+        with
+        | Ok () -> ()
+        | Error vs ->
+            Alcotest.failf "illegitimate output (%a, seed %d): %a" Config.pp
+              config seed
+              Fmt.(list ~sep:comma Legitimacy.pp_violation)
+              vs
+      done)
+    [ Config.basic; Config.with_dag; Config.improved ]
+
+let test_perturbed_assignment_is_illegitimate () =
+  let rng = Rng.create ~seed:3 in
+  let graph = Builders.random_geometric rng ~intensity:150.0 ~radius:0.12 in
+  let ids = Rng.permutation rng (Graph.node_count graph) in
+  let a = Algorithm.cluster rng Config.basic graph ~ids in
+  (* Steal the head role: point some non-head node's H at itself. *)
+  let n = Graph.node_count graph in
+  let victim =
+    let rec find p = if Assignment.is_head a p then find (p + 1) else p in
+    find 0
+  in
+  let parent = Array.init n (fun p -> Assignment.parent a p) in
+  let head = Array.init n (fun p -> Assignment.head a p) in
+  head.(victim) <- victim;
+  parent.(victim) <- victim;
+  let forged = Assignment.make ~parent ~head in
+  Alcotest.(check bool) "forged state rejected" false
+    (Legitimacy.is_legitimate Config.basic graph ~ids forged)
+
+let test_recovered_state_legitimate () =
+  (* After corruption and re-convergence, the distributed stack's state
+     satisfies the legitimacy predicate — the formal statement of
+     self-stabilization. *)
+  let rng = Rng.create ~seed:5 in
+  let graph = Builders.gnp rng ~n:50 ~p:0.1 in
+  let quiet = Distributed.default_params.Distributed.cache_ttl + 2 in
+  let first = E.run ~quiet_rounds:quiet rng graph in
+  Array.iteri
+    (fun p st -> first.E.states.(p) <- Distributed.corrupt rng p st)
+    first.E.states;
+  let second = E.run ~states:first.E.states ~quiet_rounds:quiet rng graph in
+  let a = Distributed.to_assignment second.E.states in
+  let ids = Array.init (Graph.node_count graph) Fun.id in
+  match Legitimacy.check Config.basic graph ~ids a with
+  | Ok () -> ()
+  | Error vs ->
+      Alcotest.failf "recovered state illegitimate: %a"
+        Fmt.(list ~sep:comma Legitimacy.pp_violation)
+        vs
+
+(* ------------------------------------------------------------ qcheck *)
+
+let prop_outputs_legitimate =
+  QCheck.Test.make ~name:"all configurations produce legitimate states"
+    ~count:80
+    (QCheck.make
+       ~print:(fun (n, p, seed, which) ->
+         Printf.sprintf "n=%d p=%.2f seed=%d config=%d" n p seed which)
+       QCheck.Gen.(
+         quad (int_range 1 45) (float_range 0.0 0.3) (int_range 0 9999)
+           (int_range 0 2)))
+    (fun (n, p, seed, which) ->
+      let config =
+        match which with
+        | 0 -> Config.basic
+        | 1 -> Config.improved
+        | _ -> Config.with_dag
+      in
+      let rng = Rng.create ~seed in
+      let graph = Builders.gnp rng ~n ~p in
+      let ids = Rng.permutation rng n in
+      let outcome =
+        Algorithm.run ~scheduler:Algorithm.Sequential rng config graph ~ids
+      in
+      let dag_names =
+        match outcome.Algorithm.dag with
+        | Some d -> Some d.Cluster.Dag_id.names
+        | None -> None
+      in
+      outcome.Algorithm.converged
+      && Legitimacy.is_legitimate ?dag_names config graph ~ids
+           outcome.Algorithm.assignment)
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_outputs_legitimate ]
+
+let suite =
+  [
+    Alcotest.test_case "Lemma 1: density correct at step 2" `Quick
+      test_lemma1_density_by_round_two;
+    Alcotest.test_case "Lemma 2: rounds bounded by DAG≺ height" `Quick
+      test_lemma2_rounds_bounded_by_dag_height;
+    Alcotest.test_case "Lemma 2: DAG≺ height within the value space" `Quick
+      test_lemma2_dag_height_value_space;
+    Alcotest.test_case "§3: fewer heads at higher intensity" `Slow
+      test_head_count_decreases_with_intensity;
+    Alcotest.test_case "§4.3 (iii): heads >= 3 hops apart" `Quick
+      test_fusion_claim_iii_separation;
+    Alcotest.test_case "§4.3 (i): heads not off-centered" `Quick
+      test_fusion_claim_i_head_centrality;
+    Alcotest.test_case "algorithm outputs are legitimate" `Quick
+      test_algorithm_outputs_legitimate;
+    Alcotest.test_case "perturbed states are illegitimate" `Quick
+      test_perturbed_assignment_is_illegitimate;
+    Alcotest.test_case "recovered states are legitimate" `Quick
+      test_recovered_state_legitimate;
+  ]
+  @ qcheck_cases

@@ -1,0 +1,110 @@
+module Graph = Ss_topology.Graph
+module Builders = Ss_topology.Builders
+module Algorithm = Ss_cluster.Algorithm
+module Assignment = Ss_cluster.Assignment
+module Config = Ss_cluster.Config
+module Ascii = Ss_viz.Ascii
+module Svg = Ss_viz.Svg
+module Rng = Ss_prng.Rng
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec scan i =
+    if i + nl > hl then false
+    else if String.equal (String.sub haystack i nl) needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let count_lines s =
+  String.fold_left (fun acc c -> if c = '\n' then acc + 1 else acc) 0 s
+
+let clustered_world () =
+  let rng = Rng.create ~seed:120 in
+  let graph = Builders.random_geometric rng ~intensity:100.0 ~radius:0.15 in
+  let ids = Algorithm.shuffled_ids rng graph in
+  let a = Algorithm.cluster rng Config.basic graph ~ids in
+  (graph, a)
+
+let test_ascii_dimensions () =
+  let graph, a = clustered_world () in
+  let s = Ascii.render_exn ~width:40 ~height:20 graph a in
+  (* 20 content rows + 2 border rows. *)
+  Alcotest.(check int) "line count" 22 (count_lines s);
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.length l > 0)
+  |> List.iter (fun l -> Alcotest.(check int) "line width" 42 (String.length l))
+
+let test_ascii_heads_uppercase () =
+  let graph, a = clustered_world () in
+  let s = Ascii.render_exn graph a in
+  let has_upper =
+    String.exists (fun c -> c >= 'A' && c <= 'Z') s
+  in
+  Alcotest.(check bool) "heads rendered uppercase" true has_upper
+
+let test_ascii_requires_positions () =
+  let g = Builders.path 3 in
+  let a = Assignment.make ~parent:[| 0; 0; 1 |] ~head:[| 0; 0; 0 |] in
+  match Ascii.render g a with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error without positions"
+
+let test_svg_structure () =
+  let graph, a = clustered_world () in
+  let svg = Svg.render_exn graph a in
+  Alcotest.(check bool) "opens svg" true (contains svg "<svg");
+  Alcotest.(check bool) "closes svg" true (contains svg "</svg>");
+  Alcotest.(check bool) "has circles" true (contains svg "<circle");
+  (* One circle per node. *)
+  let circles = ref 0 in
+  String.iteri
+    (fun i c ->
+      if c = '<' && i + 7 <= String.length svg
+         && String.equal (String.sub svg i 7) "<circle"
+      then incr circles)
+    svg;
+  Alcotest.(check int) "circle per node" (Graph.node_count graph) !circles
+
+let test_svg_heads_ringed () =
+  let graph, a = clustered_world () in
+  let svg = Svg.render_exn graph a in
+  Alcotest.(check bool) "head ring stroke" true (contains svg "stroke=\"black\"")
+
+let test_svg_tree_and_links_options () =
+  let graph, a = clustered_world () in
+  let bare =
+    Svg.render_exn
+      ~options:{ Svg.default_options with Svg.show_tree = false }
+      graph a
+  in
+  Alcotest.(check bool) "no tree lines" false (contains bare "<line");
+  let with_links =
+    Svg.render_exn
+      ~options:{ Svg.default_options with Svg.show_links = true }
+      graph a
+  in
+  Alcotest.(check bool) "link lines present" true
+    (contains with_links "stroke=\"#dddddd\"")
+
+let test_svg_write_file () =
+  let graph, a = clustered_world () in
+  let path = Filename.temp_file "selfstab" ".svg" in
+  Svg.write_file path (Svg.render_exn graph a);
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "non-empty file" true (len > 100)
+
+let suite =
+  [
+    Alcotest.test_case "ascii dimensions" `Quick test_ascii_dimensions;
+    Alcotest.test_case "ascii heads uppercase" `Quick test_ascii_heads_uppercase;
+    Alcotest.test_case "ascii requires positions" `Quick
+      test_ascii_requires_positions;
+    Alcotest.test_case "svg structure" `Quick test_svg_structure;
+    Alcotest.test_case "svg heads ringed" `Quick test_svg_heads_ringed;
+    Alcotest.test_case "svg options" `Quick test_svg_tree_and_links_options;
+    Alcotest.test_case "svg write file" `Quick test_svg_write_file;
+  ]
