@@ -194,6 +194,28 @@ let links_cmd =
   Cmd.v (Cmd.info "links" ~doc)
     Term.(const run $ seed_arg $ runs_arg 3 $ csv_arg)
 
+let churn_cmd =
+  let doc =
+    "Extension: in-place recovery from within-run churn — node crashes, \
+     rejoins, sleep/wake cycles and link flapping hitting a single engine \
+     run."
+  in
+  let churn_intensity_arg =
+    let doc =
+      "Poisson intensity of the deployment (expected node count in the unit \
+       square)."
+    in
+    Arg.(value & opt float 300.0 & info [ "intensity" ] ~docv:"LAMBDA" ~doc)
+  in
+  let run seed runs intensity csv =
+    let spec = E.Scenario.poisson ~intensity ~radius:0.1 () in
+    let rows = E.Exp_churn.run ~seed ~runs ~spec () in
+    output ~csv (E.Exp_churn.to_table rows);
+    output ~csv (E.Exp_churn.events_table rows)
+  in
+  Cmd.v (Cmd.info "churn" ~doc)
+    Term.(const run $ seed_arg $ runs_arg 5 $ churn_intensity_arg $ csv_arg)
+
 let all_cmd =
   let doc = "Run every experiment with fast defaults." in
   let run seed =
@@ -230,7 +252,11 @@ let all_cmd =
     Fmt.pr "@.== Extension: stabilization vs mobility ==@.";
     E.Exp_mobility_bounds.print ~seed ~runs:2 ~epochs:20 ();
     Fmt.pr "@.== Extension: stabilization vs link failures ==@.";
-    E.Exp_link_failure.print ~seed ~runs:2 ~epochs:15 ()
+    E.Exp_link_failure.print ~seed ~runs:2 ~epochs:15 ();
+    Fmt.pr "@.== Extension: within-run churn ==@.";
+    E.Exp_churn.print ~seed ~runs:2
+      ~spec:(E.Scenario.poisson ~intensity:150.0 ~radius:0.12 ())
+      ()
   in
   Cmd.v (Cmd.info "all" ~doc) Term.(const run $ seed_arg)
 
@@ -244,7 +270,7 @@ let main_cmd =
     [
       table1_cmd; table2_cmd; table3_cmd; table4_cmd; table5_cmd;
       figures_cmd; mobility_cmd; selfstab_cmd; compare_cmd; energy_cmd;
-      hierarchy_cmd; bounds_cmd; links_cmd; all_cmd;
+      hierarchy_cmd; bounds_cmd; links_cmd; churn_cmd; all_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -358,14 +358,40 @@ let corrupt rng _node st =
   }
 
 (* Readback of a converged run into an assignment; nodes that never elected
-   (no info yet) read as their own heads. *)
-let to_assignment states =
+   (no info yet) read as their own heads. Under churn, pass the engine's
+   final liveness mask: crashed/sleeping nodes hold frozen (possibly stale)
+   variables that must not pollute the projection, so they read as isolated
+   self-heads — which is exactly their status in the snapshot topology. *)
+let to_assignment ?alive states =
   let n = Array.length states in
+  let live p = match alive with None -> true | Some mask -> mask.(p) in
   let parent = Array.init n Fun.id in
   let head = Array.init n Fun.id in
   Array.iteri
     (fun p st ->
-      (match st.parent with Some f -> parent.(p) <- f | None -> ());
-      match st.head with Some h -> head.(p) <- h | None -> ())
+      if live p then begin
+        (match st.parent with Some f -> parent.(p) <- f | None -> ());
+        match st.head with Some h -> head.(p) <- h | None -> ()
+      end)
     states;
   Assignment.make ~parent ~head
+
+(* Dangling references to vanished neighbors: an alive node still naming a
+   dead (or out-of-range, after corruption) node as parent or head, or
+   still caching a frame from one. The protocol drains these within the
+   cache TTL — neighbor entries expire after [cache_ttl] silent rounds and
+   the election re-runs from live observations — so this count measures
+   how long the network "believes ghosts" after a churn burst. *)
+let ghost_references ~alive states =
+  let n = Array.length states in
+  let ghost self q = q <> self && (q < 0 || q >= n || not alive.(q)) in
+  let count = ref 0 in
+  Array.iteri
+    (fun p st ->
+      if alive.(p) then begin
+        (match st.parent with Some f when ghost p f -> incr count | _ -> ());
+        (match st.head with Some h when ghost p h -> incr count | _ -> ());
+        List.iter (fun (q, _) -> if ghost p q then incr count) st.cache
+      end)
+    states;
+  !count

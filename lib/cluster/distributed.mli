@@ -81,6 +81,16 @@ val corrupt : Ss_prng.Rng.t -> int -> state -> state
 (** Scramble every corruptible field (names, density, head, parent, cached
     values) within type-correct bounds; the transient-fault model. *)
 
-val to_assignment : state array -> Assignment.t
+val to_assignment : ?alive:bool array -> state array -> Assignment.t
 (** Project converged states to an assignment (nodes without an elected head
-    read as their own heads). *)
+    read as their own heads). Under churn, pass the engine's final liveness
+    mask: crashed/sleeping nodes hold frozen shared variables, so they are
+    projected as isolated self-heads — their status in the snapshot
+    topology. *)
+
+val ghost_references : alive:bool array -> state array -> int
+(** Number of dangling references held by alive nodes: a parent, head or
+    cache entry naming a node that is dead or out of range. Cache TTL
+    expiry plus re-election drain these after a churn burst; sampling the
+    count per round (via the engine's [probe]) shows how long the network
+    keeps believing ghosts. *)

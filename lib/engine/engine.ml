@@ -1,10 +1,56 @@
 module Graph = Ss_topology.Graph
+module Dynamic = Ss_topology.Dynamic
 module Channel = Ss_radio.Channel
 module Rng = Ss_prng.Rng
 
 type fault_report = { corrupted : int list }
 
-type round_info = { round : int; changed : int }
+type round_info = { round : int; changed : int; events : int }
+
+type burst = {
+  burst_start : int;
+  burst_end : int;
+  burst_events : int;
+  recovery_rounds : int option;
+}
+
+(* Fold per-round (round, applied-event-count) pairs into maximal runs of
+   consecutive event rounds, then read each burst's recovery time off the
+   change history: the last round with activity before the next burst (or
+   the end of the run). A final burst the run never settled after reads as
+   None. *)
+let finalize_bursts ~event_rounds ~history ~rounds ~converged =
+  let changed = Array.of_list history in
+  let merged =
+    List.fold_left
+      (fun acc (r, k) ->
+        match acc with
+        | (s, e, n) :: rest when r = e + 1 -> (s, r, n + k) :: rest
+        | _ -> (r, r, k) :: acc)
+      [] event_rounds
+    |> List.rev
+  in
+  let rec annotate = function
+    | [] -> []
+    | (s, e, n) :: rest ->
+        let window_end =
+          match rest with (s', _, _) :: _ -> s' - 1 | [] -> rounds
+        in
+        let last_active = ref e in
+        for r = e to min window_end rounds do
+          if r >= 1 && r <= Array.length changed && changed.(r - 1) > 0 then
+            last_active := r
+        done;
+        let settled = (match rest with [] -> converged | _ :: _ -> true) in
+        {
+          burst_start = s;
+          burst_end = e;
+          burst_events = n;
+          recovery_rounds = (if settled then Some (!last_active - e) else None);
+        }
+        :: annotate rest
+  in
+  annotate merged
 
 module Make (P : Protocol.S) = struct
   type run = {
@@ -13,6 +59,9 @@ module Make (P : Protocol.S) = struct
     converged : bool;
     last_change_round : int; (* 0 if nothing ever changed *)
     change_history : int list; (* per-round changed-node counts, oldest first *)
+    alive : bool array;
+    graph : Graph.t;
+    bursts : burst list;
   }
 
   let gather_messages deliver graph states p =
@@ -27,7 +76,7 @@ module Make (P : Protocol.S) = struct
     done;
     !acc
 
-  let step_round rng graph channel scheduler states =
+  let step_round rng graph live channel scheduler states =
     let n = Array.length states in
     let changed = ref 0 in
     (* One delivery plan per round: slotted channels draw their slot
@@ -35,10 +84,12 @@ module Make (P : Protocol.S) = struct
        collisions. *)
     let deliver = Channel.round_plan channel rng ~graph in
     let update_node snapshot p =
-      let msgs = gather_messages deliver graph snapshot p in
-      let next = P.handle rng graph p states.(p) msgs in
-      if not (P.equal_state next states.(p)) then incr changed;
-      states.(p) <- next
+      if live.(p) then begin
+        let msgs = gather_messages deliver graph snapshot p in
+        let next = P.handle rng graph p states.(p) msgs in
+        if not (P.equal_state next states.(p)) then incr changed;
+        states.(p) <- next
+      end
     in
     (match scheduler with
     | Scheduler.Synchronous ->
@@ -59,41 +110,112 @@ module Make (P : Protocol.S) = struct
   let init_states rng graph =
     Array.init (Graph.node_count graph) (fun p -> P.init rng graph p)
 
+  let apply_event dyn states corrupt rng = function
+    | Churn.Crash p -> Dynamic.crash dyn p
+    | Churn.Join p ->
+        if Dynamic.join dyn p then begin
+          (* A crash lost the state; rejoin as a factory-fresh node. Gamma
+             and other deployment-wide constants come from the base graph,
+             matching the initial deployment. *)
+          states.(p) <- P.init rng (Dynamic.base dyn) p;
+          true
+        end
+        else false
+    | Churn.Sleep p -> Dynamic.sleep dyn p
+    | Churn.Wake p -> Dynamic.wake dyn p
+    | Churn.Link_down (p, q) -> Dynamic.link_down dyn p q
+    | Churn.Link_up (p, q) -> Dynamic.link_up dyn p q
+    | Churn.Corrupt p ->
+        if not (Dynamic.is_alive dyn p) then false
+        else begin
+          match corrupt with
+          | None ->
+              invalid_arg
+                "Engine.run: churn plan emits Corrupt but no ~corrupt given"
+          | Some f ->
+              states.(p) <- f rng p states.(p);
+              true
+        end
+
   let run ?(scheduler = Scheduler.Synchronous) ?(channel = Channel.perfect)
-      ?(max_rounds = 10_000) ?(quiet_rounds = 1) ?fault ?on_round ?states rng
-      graph =
+      ?(max_rounds = 10_000) ?(quiet_rounds = 1) ?fault ?churn ?corrupt
+      ?on_round ?on_event ?probe ?states rng graph =
     if max_rounds < 0 then invalid_arg "Engine.run: negative round budget";
     if quiet_rounds < 1 then invalid_arg "Engine.run: quiet_rounds must be >= 1";
     let states =
       match states with Some s -> s | None -> init_states rng graph
     in
+    let dyn = Dynamic.create graph in
+    (* Keep the run alive through quiescence while a bounded plan still has
+       events scheduled, so post-convergence storms always fire. *)
+    let horizon =
+      match churn with
+      | None -> 0
+      | Some plan -> (
+          match Churn.horizon plan with
+          | Some h -> min h max_rounds
+          | None -> 0)
+    in
+    let live = Array.make (Array.length states) true in
     let quiet = ref 0 in
     let round = ref 0 in
     let last_change = ref 0 in
     let history = ref [] in
-    while !quiet < quiet_rounds && !round < max_rounds do
+    let event_rounds = ref [] in
+    while (!quiet < quiet_rounds || !round < horizon) && !round < max_rounds do
       incr round;
+      let applied =
+        match churn with
+        | None -> 0
+        | Some plan ->
+            List.fold_left
+              (fun acc ev ->
+                if apply_event dyn states corrupt rng ev then begin
+                  (match on_event with
+                  | None -> ()
+                  | Some f -> f ~round:!round ev);
+                  acc + 1
+                end
+                else acc)
+              0
+              (Churn.events_at plan ~round:!round dyn rng)
+      in
+      if applied > 0 then begin
+        event_rounds := (!round, applied) :: !event_rounds;
+        Array.iteri (fun p _ -> live.(p) <- Dynamic.is_alive dyn p) live
+      end;
       let faulted =
         match fault with
         | None -> false
         | Some inject -> inject ~round:!round ~states rng
       in
-      let changed = step_round rng graph channel scheduler states in
+      let g = Dynamic.snapshot dyn in
+      let changed = step_round rng g live channel scheduler states in
       history := changed :: !history;
       (match on_round with
       | None -> ()
-      | Some f -> f { round = !round; changed });
-      if changed > 0 || faulted then begin
+      | Some f -> f { round = !round; changed; events = applied });
+      (match probe with
+      | None -> ()
+      | Some f -> f ~round:!round ~alive:live states);
+      if changed > 0 || faulted || applied > 0 then begin
         quiet := 0;
         last_change := !round
       end
       else incr quiet
     done;
+    let converged = !quiet >= quiet_rounds in
     {
       states;
       rounds = !round;
-      converged = !quiet >= quiet_rounds;
+      converged;
       last_change_round = !last_change;
       change_history = List.rev !history;
+      alive = Array.copy live;
+      graph = Dynamic.snapshot dyn;
+      bursts =
+        finalize_bursts
+          ~event_rounds:(List.rev !event_rounds)
+          ~history:(List.rev !history) ~rounds:!round ~converged;
     }
-end
+  end

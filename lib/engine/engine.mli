@@ -2,23 +2,51 @@
 
     One round is the paper's step Δ(τ): every node locally broadcasts its
     shared variables once and processes the frames that survive the channel.
-    The executor detects fixpoints, counts stabilization rounds, and lets a
-    fault hook corrupt states mid-run (the self-stabilization experiments). *)
+    The executor detects fixpoints, counts stabilization rounds, lets a
+    fault hook corrupt states mid-run, and — given a {!Churn} plan — applies
+    topology events (crashes, joins, sleep/wake, link flapping) between
+    rounds so the protocol must recover in place. *)
 
-type round_info = { round : int; changed : int }
+type round_info = {
+  round : int;
+  changed : int;
+  events : int;  (** churn events applied before this round's communication *)
+}
 
 type fault_report = { corrupted : int list }
+
+type burst = {
+  burst_start : int;  (** first round of a maximal run of event rounds *)
+  burst_end : int;  (** last round of the burst (= [burst_start] for a
+                        single-round burst) *)
+  burst_events : int;  (** events applied across the burst *)
+  recovery_rounds : int option;
+      (** rounds after [burst_end] until the last state change before the
+          next burst (0 when nothing changed); [None] when the run hit
+          [max_rounds] still churning after the final burst *)
+}
 
 module Make (P : Protocol.S) : sig
   type run = {
     states : P.state array;
+        (** final states; crashed/sleeping nodes hold their last (Join
+            re-initializes, Wake resumes) *)
     rounds : int;  (** rounds executed, including the final quiet ones *)
     converged : bool;  (** true when the quiet-round target was reached *)
     last_change_round : int;
         (** the paper's stabilization time in steps: the last round in which
-            any node's state changed (0 when already stable) *)
+            any node's state changed or any event fired (0 when already
+            stable) *)
     change_history : int list;
         (** changed-node count per round, oldest first *)
+    alive : bool array;
+        (** final liveness mask; all-true for churn-free runs *)
+    graph : Ss_topology.Graph.t;
+        (** final effective topology (= the input graph when no churn
+            event ever fired) *)
+    bursts : burst list;
+        (** event bursts applied by the churn plan, oldest first, with
+            measured recovery times *)
   }
 
   val init_states :
@@ -31,17 +59,40 @@ module Make (P : Protocol.S) : sig
     ?max_rounds:int ->
     ?quiet_rounds:int ->
     ?fault:(round:int -> states:P.state array -> Ss_prng.Rng.t -> bool) ->
+    ?churn:Churn.t ->
+    ?corrupt:(Ss_prng.Rng.t -> int -> P.state -> P.state) ->
     ?on_round:(round_info -> unit) ->
+    ?on_event:(round:int -> Churn.event -> unit) ->
+    ?probe:(round:int -> alive:bool array -> P.state array -> unit) ->
     ?states:P.state array ->
     Ss_prng.Rng.t ->
     Ss_topology.Graph.t ->
     run
   (** Execute rounds until [quiet_rounds] consecutive rounds change no state
-      (and inject no fault), or until [max_rounds]. [fault] runs before each
-      round's communication; it may mutate the state array in place and must
-      return whether it did (to reset quiet counting). [states] warm-starts
-      from a previous run (used by mobility experiments and fault recovery).
+      (and inject no fault or churn event), or until [max_rounds]. When the
+      churn plan has a bounded {!Churn.horizon}, the run is kept alive
+      through quiescence until the horizon passes, so scheduled storms
+      always fire.
+
+      Per round, in order: [churn] events are applied to the dynamic
+      topology ([Crash]/[Sleep] silence a node, [Join] revives it with a
+      fresh [P.init] against the base graph, [Wake] revives it with its
+      retained state, link events retopologize; [Corrupt] rewrites the
+      node's state through [corrupt] — supplying a plan that emits
+      [Corrupt] without [corrupt] raises [Invalid_argument]); then [fault]
+      runs (it may mutate the state array in place and must return whether
+      it did); then every {e alive} node broadcasts once over the current
+      snapshot and handles what it heard. Crashed and sleeping nodes
+      neither emit nor handle, and their frames vanish from neighbors'
+      caches — recovery is the protocol's job.
+
+      [on_event] fires once per applied event (no-ops — crashing a dead
+      node, downing a downed link — are skipped and not counted);
+      [on_round] fires after each round; [probe] additionally sees the
+      liveness mask and live states (both read-only) for mid-run
+      instrumentation such as ghost-reference counting. [states]
+      warm-starts from a previous run.
 
       Defaults: synchronous scheduler, perfect channel, 10000 rounds max,
-      one quiet round. *)
+      one quiet round, no churn. *)
 end

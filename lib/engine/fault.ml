@@ -36,3 +36,13 @@ let inject t ~round ~states rng =
       end
 
 let hook t = fun ~round ~states rng -> inject t ~round ~states rng
+
+(* A corruption plan is one kind of churn: each scheduled burst becomes a
+   Corrupt event on that many uniformly chosen alive nodes, and the plan's
+   corrupt function becomes the engine's [~corrupt] argument. *)
+let to_churn t =
+  ( Churn.compose
+      (List.map
+         (fun (round, count) -> Churn.corrupt_count ~round ~count)
+         t.schedule),
+    t.corrupt )

@@ -28,3 +28,10 @@ val inject :
 val hook :
   'state t -> round:int -> states:'state array -> Ss_prng.Rng.t -> bool
 (** The plan as an [Engine.run ~fault] argument. *)
+
+val to_churn :
+  'state t -> Churn.t * (Ss_prng.Rng.t -> int -> 'state -> 'state)
+(** The same plan expressed in the general churn DSL: pass the first
+    component as [Engine.run ~churn] and the second as [~corrupt].
+    Victims are drawn among currently {e alive} nodes, so under combined
+    plans corruption never targets crashed or sleeping nodes. *)

@@ -1,0 +1,26 @@
+(* String-keyed tally, used for per-event-type accounting in churn
+   experiments. Small key sets; an assoc-style hashtable is plenty. *)
+
+type t = (string, int) Hashtbl.t
+
+let create () = Hashtbl.create 8
+
+let incr ?(by = 1) t key =
+  Hashtbl.replace t key (by + Option.value ~default:0 (Hashtbl.find_opt t key))
+
+let count t key = Option.value ~default:0 (Hashtbl.find_opt t key)
+
+let total t = Hashtbl.fold (fun _ v acc -> acc + v) t 0
+
+let to_list t =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])
+
+let merge a b =
+  let out = Hashtbl.copy a in
+  Hashtbl.iter (fun k v -> incr ~by:v out k) b;
+  out
+
+let pp ppf t =
+  Fmt.pf ppf "{%a}"
+    Fmt.(list ~sep:comma (pair ~sep:(any "=") string int))
+    (to_list t)

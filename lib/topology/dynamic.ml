@@ -1,0 +1,133 @@
+(* Liveness mask + link down-set over an immutable base graph. Events are
+   O(1); the effective topology is materialized lazily and cached, so runs
+   without churn never pay for it and runs with churn rebuild at most once
+   per event burst. *)
+
+type status = Alive | Crashed | Asleep
+
+type t = {
+  base : Graph.t;
+  status : status array;
+  down : (int * int, unit) Hashtbl.t; (* keyed (p, q) with p < q *)
+  mutable cache : Graph.t; (* last materialized snapshot *)
+  mutable dirty : bool;
+}
+
+let create base =
+  {
+    base;
+    status = Array.make (Graph.node_count base) Alive;
+    down = Hashtbl.create 16;
+    cache = base;
+    dirty = false;
+  }
+
+let base t = t.base
+
+let node_count t = Graph.node_count t.base
+
+let check_node t p =
+  if p < 0 || p >= node_count t then invalid_arg "Dynamic: node out of range"
+
+let status t p =
+  check_node t p;
+  t.status.(p)
+
+let is_alive t p =
+  check_node t p;
+  t.status.(p) = Alive
+
+let alive_count t =
+  Array.fold_left (fun acc s -> if s = Alive then acc + 1 else acc) 0 t.status
+
+let alive_mask t = Array.map (fun s -> s = Alive) t.status
+
+let nodes_with t wanted =
+  let acc = ref [] in
+  for p = node_count t - 1 downto 0 do
+    if t.status.(p) = wanted then acc := p :: !acc
+  done;
+  !acc
+
+let transition t p ~from ~into =
+  check_node t p;
+  if List.mem t.status.(p) from then begin
+    t.status.(p) <- into;
+    t.dirty <- true;
+    true
+  end
+  else false
+
+let crash t p = transition t p ~from:[ Alive; Asleep ] ~into:Crashed
+
+let join t p = transition t p ~from:[ Crashed ] ~into:Alive
+
+let sleep t p = transition t p ~from:[ Alive ] ~into:Asleep
+
+let wake t p = transition t p ~from:[ Asleep ] ~into:Alive
+
+let norm p q = if p < q then (p, q) else (q, p)
+
+let check_edge t p q =
+  check_node t p;
+  check_node t q;
+  if not (Graph.mem_edge t.base p q) then
+    invalid_arg "Dynamic: not a link of the base graph"
+
+let link_down t p q =
+  check_edge t p q;
+  let key = norm p q in
+  if Hashtbl.mem t.down key then false
+  else begin
+    Hashtbl.replace t.down key ();
+    t.dirty <- true;
+    true
+  end
+
+let link_up t p q =
+  check_edge t p q;
+  let key = norm p q in
+  if Hashtbl.mem t.down key then begin
+    Hashtbl.remove t.down key;
+    t.dirty <- true;
+    true
+  end
+  else false
+
+let is_link_down t p q =
+  check_node t p;
+  check_node t q;
+  Hashtbl.mem t.down (norm p q)
+
+let down_list t =
+  List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) t.down [])
+
+let pristine t =
+  Hashtbl.length t.down = 0 && Array.for_all (fun s -> s = Alive) t.status
+
+let materialize t =
+  if pristine t then t.base
+  else
+    let adj =
+      Array.init (node_count t) (fun p ->
+          if t.status.(p) <> Alive then []
+          else
+            Array.fold_right
+              (fun q acc ->
+                if t.status.(q) = Alive && not (Hashtbl.mem t.down (norm p q))
+                then q :: acc
+                else acc)
+              (Graph.neighbors t.base p) [])
+    in
+    Graph.of_adjacency ?positions:(Graph.positions t.base) adj
+
+let snapshot t =
+  if t.dirty then begin
+    t.cache <- materialize t;
+    t.dirty <- false
+  end;
+  t.cache
+
+let pp ppf t =
+  Fmt.pf ppf "dynamic(%a, alive=%d/%d, down_links=%d)" Graph.pp t.base
+    (alive_count t) (node_count t) (Hashtbl.length t.down)

@@ -1,0 +1,78 @@
+(** Dynamic topology: a static {!Graph.t} overlaid with a node liveness
+    mask and a per-link up/down status, so a single engine run can
+    experience crashes, joins, sleep/wake cycles and link flapping
+    between rounds.
+
+    The base graph fixes the node universe and the radio links that can
+    ever exist; events toggle which of them are currently usable. A
+    consistent static {!snapshot} is derived on demand (and cached until
+    the next mutation) so protocols keep reading an ordinary immutable
+    {!Graph.t}: nodes that are crashed or asleep appear isolated, and
+    downed links are absent from both endpoints' adjacency. *)
+
+type status =
+  | Alive  (** participating normally *)
+  | Crashed  (** failed: loses its state; rejoins via [join] with fresh state *)
+  | Asleep  (** powered down: keeps its state; resumes via [wake] *)
+
+type t
+
+val create : Graph.t -> t
+(** All nodes [Alive], all base links up. *)
+
+val base : t -> Graph.t
+(** The underlying static graph (node universe and potential links). *)
+
+val node_count : t -> int
+
+val status : t -> int -> status
+
+val is_alive : t -> int -> bool
+
+val alive_count : t -> int
+
+val alive_mask : t -> bool array
+(** Fresh copy; [mask.(p)] iff node [p] is [Alive]. *)
+
+val nodes_with : t -> status -> int list
+(** Sorted nodes currently in the given status. *)
+
+(** Transitions return whether they changed anything: crashing a dead
+    node, waking an alive one, etc. are no-ops reported as [false]. *)
+
+val crash : t -> int -> bool
+(** [Alive] or [Asleep] -> [Crashed]. *)
+
+val join : t -> int -> bool
+(** [Crashed] -> [Alive]. The caller owns re-initializing the node's
+    protocol state (a crash loses it). *)
+
+val sleep : t -> int -> bool
+(** [Alive] -> [Asleep]. *)
+
+val wake : t -> int -> bool
+(** [Asleep] -> [Alive], protocol state retained by the caller. *)
+
+val link_down : t -> int -> int -> bool
+(** Take a base link down. Raises [Invalid_argument] if the pair is not
+    an edge of the base graph; returns [false] if already down. *)
+
+val link_up : t -> int -> int -> bool
+(** Restore a downed base link; [false] if it was not down. *)
+
+val is_link_down : t -> int -> int -> bool
+
+val down_list : t -> (int * int) list
+(** Downed links, each once with [p < q], sorted. *)
+
+val pristine : t -> bool
+(** True when every node is alive and every link is up — the snapshot is
+    the base graph itself. *)
+
+val snapshot : t -> Graph.t
+(** The current effective topology as an immutable graph over the same
+    node indices. Cached: consecutive calls without intervening events
+    return the same physical graph (and the base graph while
+    [pristine]). *)
+
+val pp : t Fmt.t

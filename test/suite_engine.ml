@@ -269,6 +269,39 @@ let test_floodmax_under_slotted_channel () =
   Alcotest.(check bool) "converged" true result.E.converged;
   Array.iter (fun st -> Alcotest.(check int) "max everywhere" 8 st) result.E.states
 
+let test_fault_hook_silent_outside_schedule () =
+  (* The hook form used by [Engine.run ~fault]: it must report [false] on
+     every round the schedule does not mention, so quiescence tracking is
+     undisturbed between bursts. *)
+  let plan = Fault.at_round ~round:4 ~count:1 ~corrupt:(fun _ _ st -> st + 1) in
+  let states = [| 0; 0; 0 |] in
+  let r = rng () in
+  for round = 1 to 10 do
+    let fired = Fault.hook plan ~round ~states r in
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d" round)
+      (round = 4) fired
+  done;
+  Alcotest.(check int) "exactly one corruption" 1
+    (Array.fold_left ( + ) 0 states)
+
+let test_floodmax_under_jammed_channel () =
+  (* Engine-level jamming: node 2 sits inside the jammed region with
+     jam_tau = 0, so it never hears a frame and keeps its initial value
+     while the rest of the line converges. *)
+  let positions =
+    [| Ss_geom.Vec2.v 0.1 0.5; Ss_geom.Vec2.v 0.4 0.5; Ss_geom.Vec2.v 0.7 0.5 |]
+  in
+  let g = Graph.unit_disk ~radius:0.35 positions in
+  let region =
+    Ss_geom.Bbox.make ~min_x:0.55 ~min_y:0.0 ~max_x:1.0 ~max_y:1.0
+  in
+  let channel = Channel.jammed ~tau:1.0 ~region ~jam_tau:0.0 in
+  let result = E.run ~channel (rng ()) g in
+  Alcotest.(check bool) "converged" true result.E.converged;
+  Alcotest.(check (array int)) "jammed node keeps its init" [| 3; 3; 1 |]
+    result.E.states
+
 let test_channel_jammed () =
   (* Receivers inside the jammed region lose everything at jam_tau = 0. *)
   let positions = [| Ss_geom.Vec2.v 0.1 0.1; Ss_geom.Vec2.v 0.9 0.9 |] in
@@ -319,4 +352,8 @@ let suite =
     Alcotest.test_case "floodmax under slotted contention" `Quick
       test_floodmax_under_slotted_channel;
     Alcotest.test_case "jammed region" `Quick test_channel_jammed;
+    Alcotest.test_case "fault hook silent outside schedule" `Quick
+      test_fault_hook_silent_outside_schedule;
+    Alcotest.test_case "floodmax under a jammed region" `Quick
+      test_floodmax_under_jammed_channel;
   ]
