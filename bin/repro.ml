@@ -15,6 +15,15 @@ let runs_arg default =
   let doc = "Number of independent runs to average over." in
   Arg.(value & opt int default & info [ "runs" ] ~docv:"RUNS" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of domains executing runs in parallel. Every run draws from its \
+     own positional PRNG sub-stream and results are collected in run order, \
+     so the output is bit-identical for every value of $(docv)."
+  in
+  let env = Cmd.Env.info "REPRO_JOBS" ~doc:"Default for $(b,--jobs)." in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~env ~docv:"N" ~doc)
+
 let intensity_arg =
   let doc = "Poisson intensity (expected node count in the unit square)." in
   Arg.(value & opt float 1000.0 & info [ "intensity" ] ~docv:"LAMBDA" ~doc)
@@ -43,44 +52,49 @@ let table1_cmd =
 
 let table2_cmd =
   let doc = "Table 2: knowledge schedule of the distributed protocol." in
-  let run seed runs csv =
-    output ~csv (E.Exp_schedule.to_table (E.Exp_schedule.run ~seed ~runs ()))
+  let run seed runs jobs csv =
+    output ~csv
+      (E.Exp_schedule.to_table
+         (E.Exp_schedule.run ~seed ~runs ~domains:jobs ()))
   in
   Cmd.v (Cmd.info "table2" ~doc)
-    Term.(const run $ seed_arg $ runs_arg 10 $ csv_arg)
+    Term.(const run $ seed_arg $ runs_arg 10 $ jobs_arg $ csv_arg)
 
 let table3_cmd =
   let doc = "Table 3: steps to build the DAG of local names." in
-  let run seed runs intensity csv =
+  let run seed runs jobs intensity csv =
     output ~csv
-      (E.Exp_dag_steps.to_table (E.Exp_dag_steps.run ~seed ~runs ~intensity ()))
+      (E.Exp_dag_steps.to_table
+         (E.Exp_dag_steps.run ~seed ~runs ~domains:jobs ~intensity ()))
   in
   Cmd.v (Cmd.info "table3" ~doc)
-    Term.(const run $ seed_arg $ runs_arg 30 $ intensity_arg $ csv_arg)
+    Term.(
+      const run $ seed_arg $ runs_arg 30 $ jobs_arg $ intensity_arg $ csv_arg)
 
 let table4_cmd =
   let doc = "Table 4: cluster features on random geometric graphs." in
-  let run seed runs intensity csv =
+  let run seed runs jobs intensity csv =
     output ~csv
       (E.Exp_features.to_table
          ~title:"Table 4 — cluster features on a random geometric graph"
-         (E.Exp_features.run_random ~seed ~runs ~intensity ()))
+         (E.Exp_features.run_random ~seed ~runs ~domains:jobs ~intensity ()))
   in
   Cmd.v (Cmd.info "table4" ~doc)
-    Term.(const run $ seed_arg $ runs_arg 30 $ intensity_arg $ csv_arg)
+    Term.(
+      const run $ seed_arg $ runs_arg 30 $ jobs_arg $ intensity_arg $ csv_arg)
 
 let table5_cmd =
   let doc = "Table 5: cluster features on the adversarial row-major grid." in
-  let run seed runs csv =
+  let run seed runs jobs csv =
     output ~csv
       (E.Exp_features.to_table
          ~title:
            "Table 5 — cluster features on a grid with adversarial (row-major) \
             ids"
-         (E.Exp_features.run_grid ~seed ~runs ()))
+         (E.Exp_features.run_grid ~seed ~runs ~domains:jobs ()))
   in
   Cmd.v (Cmd.info "table5" ~doc)
-    Term.(const run $ seed_arg $ runs_arg 10 $ csv_arg)
+    Term.(const run $ seed_arg $ runs_arg 10 $ jobs_arg $ csv_arg)
 
 let figures_cmd =
   let doc = "Figures 2 and 3: grid clusterings with and without the DAG." in
@@ -110,7 +124,7 @@ let mobility_cmd =
       & info [ "horizon" ] ~docv:"SECONDS"
           ~doc:"Simulated duration per run (the paper uses 900 s).")
   in
-  let run seed runs count horizon csv =
+  let run seed runs jobs count horizon csv =
     let params =
       {
         E.Exp_mobility.default_params with
@@ -120,79 +134,88 @@ let mobility_cmd =
         horizon;
       }
     in
-    output ~csv (E.Exp_mobility.to_table (E.Exp_mobility.run ~params ()))
+    output ~csv
+      (E.Exp_mobility.to_table (E.Exp_mobility.run ~params ~domains:jobs ()))
   in
   Cmd.v (Cmd.info "mobility" ~doc)
     Term.(
-      const run $ seed_arg $ runs_arg 5 $ count_arg $ horizon_arg $ csv_arg)
+      const run $ seed_arg $ runs_arg 5 $ jobs_arg $ count_arg $ horizon_arg
+      $ csv_arg)
 
 let selfstab_cmd =
   let doc =
     "Self-stabilization measurements: recovery after corruption, \
      convergence under frame loss."
   in
-  let run seed runs csv =
+  let run seed runs jobs csv =
     output ~csv
       (E.Exp_selfstab.recovery_table
-         (E.Exp_selfstab.measure_recovery ~seed ~runs ()));
+         (E.Exp_selfstab.measure_recovery ~seed ~runs ~domains:jobs ()));
     output ~csv
-      (E.Exp_selfstab.loss_table (E.Exp_selfstab.measure_loss ~seed ~runs ()))
+      (E.Exp_selfstab.loss_table
+         (E.Exp_selfstab.measure_loss ~seed ~runs ~domains:jobs ()))
   in
   Cmd.v (Cmd.info "selfstab" ~doc)
-    Term.(const run $ seed_arg $ runs_arg 10 $ csv_arg)
+    Term.(const run $ seed_arg $ runs_arg 10 $ jobs_arg $ csv_arg)
 
 let compare_cmd =
   let doc =
     "Metric comparison: head retention of density vs degree, lowest-id and \
      max-min."
   in
-  let run seed runs csv =
-    output ~csv (E.Exp_compare.to_table (E.Exp_compare.run ~seed ~runs ()))
+  let run seed runs jobs csv =
+    output ~csv
+      (E.Exp_compare.to_table (E.Exp_compare.run ~seed ~runs ~domains:jobs ()))
   in
   Cmd.v (Cmd.info "compare" ~doc)
-    Term.(const run $ seed_arg $ runs_arg 5 $ csv_arg)
+    Term.(const run $ seed_arg $ runs_arg 5 $ jobs_arg $ csv_arg)
 
 let energy_cmd =
   let doc =
     "Extension: network lifetime with and without the energy-aware election."
   in
-  let run seed runs csv =
-    output ~csv (E.Exp_energy.to_table (E.Exp_energy.run ~seed ~runs ()))
+  let run seed runs jobs csv =
+    output ~csv
+      (E.Exp_energy.to_table (E.Exp_energy.run ~seed ~runs ~domains:jobs ()))
   in
   Cmd.v (Cmd.info "energy" ~doc)
-    Term.(const run $ seed_arg $ runs_arg 5 $ csv_arg)
+    Term.(const run $ seed_arg $ runs_arg 5 $ jobs_arg $ csv_arg)
 
 let hierarchy_cmd =
   let doc = "Extension: cluster-head population per hierarchy level." in
-  let run seed runs csv =
-    output ~csv (E.Exp_hierarchy.to_table (E.Exp_hierarchy.run ~seed ~runs ()))
+  let run seed runs jobs csv =
+    output ~csv
+      (E.Exp_hierarchy.to_table
+         (E.Exp_hierarchy.run ~seed ~runs ~domains:jobs ()))
   in
   Cmd.v (Cmd.info "hierarchy" ~doc)
-    Term.(const run $ seed_arg $ runs_arg 10 $ csv_arg)
+    Term.(const run $ seed_arg $ runs_arg 10 $ jobs_arg $ csv_arg)
 
 let bounds_cmd =
   let doc =
     "Extension: stabilization cost and structure churn as a function of \
      node speed."
   in
-  let run seed runs csv =
+  let run seed runs jobs csv =
     output ~csv
-      (E.Exp_mobility_bounds.to_table (E.Exp_mobility_bounds.run ~seed ~runs ()))
+      (E.Exp_mobility_bounds.to_table
+         (E.Exp_mobility_bounds.run ~seed ~runs ~domains:jobs ()))
   in
   Cmd.v (Cmd.info "bounds" ~doc)
-    Term.(const run $ seed_arg $ runs_arg 3 $ csv_arg)
+    Term.(const run $ seed_arg $ runs_arg 3 $ jobs_arg $ csv_arg)
 
 let links_cmd =
   let doc =
     "Extension: stabilization cost and churn as a function of the link \
      failure rate."
   in
-  let run seed runs csv =
+  let run seed runs jobs csv =
     output ~csv
-      (E.Exp_link_failure.to_table (E.Exp_link_failure.run ~seed ~runs ()))
+      (E.Exp_link_failure.to_table
+         (E.Exp_link_failure.run ~seed ~runs ~domains:jobs ()))
   in
   Cmd.v (Cmd.info "links" ~doc)
-    Term.(const run $ seed_arg $ runs_arg 3 $ csv_arg)
+    Term.(const run $ seed_arg $ runs_arg 3 $ jobs_arg $ csv_arg)
 
 let churn_cmd =
   let doc =
@@ -207,28 +230,31 @@ let churn_cmd =
     in
     Arg.(value & opt float 300.0 & info [ "intensity" ] ~docv:"LAMBDA" ~doc)
   in
-  let run seed runs intensity csv =
+  let run seed runs jobs intensity csv =
     let spec = E.Scenario.poisson ~intensity ~radius:0.1 () in
-    let rows = E.Exp_churn.run ~seed ~runs ~spec () in
+    let rows = E.Exp_churn.run ~seed ~runs ~domains:jobs ~spec () in
     output ~csv (E.Exp_churn.to_table rows);
     output ~csv (E.Exp_churn.events_table rows)
   in
   Cmd.v (Cmd.info "churn" ~doc)
-    Term.(const run $ seed_arg $ runs_arg 5 $ churn_intensity_arg $ csv_arg)
+    Term.(
+      const run $ seed_arg $ runs_arg 5 $ jobs_arg $ churn_intensity_arg
+      $ csv_arg)
 
 let all_cmd =
   let doc = "Run every experiment with fast defaults." in
-  let run seed =
+  let run seed jobs =
+    let domains = jobs in
     Fmt.pr "== Table 1 ==@.";
     E.Exp_example.print ();
     Fmt.pr "@.== Table 2 ==@.";
-    E.Exp_schedule.print ~seed ~runs:5 ();
+    E.Exp_schedule.print ~seed ~runs:5 ~domains ();
     Fmt.pr "@.== Table 3 ==@.";
-    E.Exp_dag_steps.print ~seed ~runs:10 ();
+    E.Exp_dag_steps.print ~seed ~runs:10 ~domains ();
     Fmt.pr "@.== Table 4 ==@.";
-    E.Exp_features.print_random ~seed ~runs:10 ();
+    E.Exp_features.print_random ~seed ~runs:10 ~domains ();
     Fmt.pr "@.== Table 5 ==@.";
-    E.Exp_features.print_grid ~seed ~runs:5 ();
+    E.Exp_features.print_grid ~seed ~runs:5 ~domains ();
     Fmt.pr "@.== Figures 2 & 3 ==@.";
     E.Exp_figures.print ();
     Fmt.pr "@.== Mobility ==@.";
@@ -240,25 +266,25 @@ let all_cmd =
           runs = 3;
           horizon = 120.0;
         }
-      ();
+      ~domains ();
     Fmt.pr "@.== Self-stabilization ==@.";
-    E.Exp_selfstab.print ~seed ~runs:5 ();
+    E.Exp_selfstab.print ~seed ~runs:5 ~domains ();
     Fmt.pr "@.== Metric comparison ==@.";
-    E.Exp_compare.print ~seed ~runs:3 ~epochs:30 ();
+    E.Exp_compare.print ~seed ~runs:3 ~epochs:30 ~domains ();
     Fmt.pr "@.== Extension: energy ==@.";
-    E.Exp_energy.print ~seed ~runs:3 ();
+    E.Exp_energy.print ~seed ~runs:3 ~domains ();
     Fmt.pr "@.== Extension: hierarchy ==@.";
-    E.Exp_hierarchy.print ~seed ~runs:5 ();
+    E.Exp_hierarchy.print ~seed ~runs:5 ~domains ();
     Fmt.pr "@.== Extension: stabilization vs mobility ==@.";
-    E.Exp_mobility_bounds.print ~seed ~runs:2 ~epochs:20 ();
+    E.Exp_mobility_bounds.print ~seed ~runs:2 ~epochs:20 ~domains ();
     Fmt.pr "@.== Extension: stabilization vs link failures ==@.";
-    E.Exp_link_failure.print ~seed ~runs:2 ~epochs:15 ();
+    E.Exp_link_failure.print ~seed ~runs:2 ~epochs:15 ~domains ();
     Fmt.pr "@.== Extension: within-run churn ==@.";
     E.Exp_churn.print ~seed ~runs:2
       ~spec:(E.Scenario.poisson ~intensity:150.0 ~radius:0.12 ())
-      ()
+      ~domains ()
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ seed_arg)
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ seed_arg $ jobs_arg)
 
 let main_cmd =
   let doc =

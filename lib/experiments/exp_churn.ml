@@ -96,45 +96,74 @@ type row = {
   converged : int;
 }
 
-let measure ~seed ~runs ~spec ~max_rounds scheduler storm =
+(* What one run reports; everything the row aggregates, gathered without
+   touching state shared between runs so the runs can execute on any
+   number of domains. *)
+type run_outcome = {
+  run_converged : bool;
+  run_bursts : int option list; (* per burst: recovery rounds if finite *)
+  run_peak_ghosts : int;
+  run_events : Counter.t;
+  run_legitimate : bool;
+}
+
+let measure ?domains ~seed ~runs ~spec ~max_rounds scheduler storm =
+  let outcomes =
+    Runner.replicate ?domains ~seed ~runs (fun ~run rng ->
+        ignore run;
+        let world = Scenario.build rng spec in
+        let graph = world.Scenario.graph in
+        let ghosts = ref 0 in
+        let events = Counter.create () in
+        let result =
+          E.run ~scheduler ~quiet_rounds ~max_rounds
+            ~churn:(plan_of_storm storm) ~corrupt:Distributed.corrupt
+            ~on_event:(fun ~round:_ ev ->
+              Counter.incr events (Churn.event_label ev))
+            ~probe:(fun ~round:_ ~alive states ->
+              ghosts := max !ghosts (Distributed.ghost_references ~alive states))
+            rng graph
+        in
+        let ids = Array.init (Graph.node_count graph) Fun.id in
+        let assignment =
+          Distributed.to_assignment ~alive:result.E.alive result.E.states
+        in
+        {
+          run_converged = result.E.converged;
+          run_bursts =
+            List.map
+              (fun b -> b.Ss_engine.Engine.recovery_rounds)
+              result.E.bursts;
+          run_peak_ghosts = !ghosts;
+          run_events = events;
+          run_legitimate =
+            Legitimacy.is_legitimate Config.basic result.E.graph ~ids
+              assignment;
+        })
+  in
   let bursts = ref 0 in
   let recovered = ref 0 in
   let recovery = Summary.create () in
   let peak_ghosts = Summary.create () in
-  let events = Counter.create () in
+  let events = ref (Counter.create ()) in
   let legitimate = ref 0 in
   let converged = ref 0 in
-  Runner.replicate ~seed ~runs (fun ~run rng ->
-      ignore run;
-      let world = Scenario.build rng spec in
-      let graph = world.Scenario.graph in
-      let ghosts = ref 0 in
-      let result =
-        E.run ~scheduler ~quiet_rounds ~max_rounds
-          ~churn:(plan_of_storm storm) ~corrupt:Distributed.corrupt
-          ~on_event:(fun ~round:_ ev -> Counter.incr events (Churn.event_label ev))
-          ~probe:(fun ~round:_ ~alive states ->
-            ghosts := max !ghosts (Distributed.ghost_references ~alive states))
-          rng graph
-      in
-      if result.E.converged then incr converged;
+  List.iter
+    (fun o ->
+      if o.run_converged then incr converged;
       List.iter
         (fun b ->
           incr bursts;
-          match b.Ss_engine.Engine.recovery_rounds with
+          match b with
           | Some r ->
               incr recovered;
               Summary.add_int recovery r
           | None -> ())
-        result.E.bursts;
-      Summary.add_int peak_ghosts !ghosts;
-      let ids = Array.init (Graph.node_count graph) Fun.id in
-      let assignment =
-        Distributed.to_assignment ~alive:result.E.alive result.E.states
-      in
-      if Legitimacy.is_legitimate Config.basic result.E.graph ~ids assignment
-      then incr legitimate)
-  |> ignore;
+        o.run_bursts;
+      Summary.add_int peak_ghosts o.run_peak_ghosts;
+      events := Counter.merge !events o.run_events;
+      if o.run_legitimate then incr legitimate)
+    outcomes;
   {
     scheduler;
     storm;
@@ -143,7 +172,7 @@ let measure ~seed ~runs ~spec ~max_rounds scheduler storm =
     recovered = !recovered;
     recovery;
     peak_ghosts;
-    events;
+    events = !events;
     legitimate = !legitimate;
     converged = !converged;
   }
@@ -152,12 +181,12 @@ let default_spec = Scenario.poisson ~intensity:300.0 ~radius:0.1 ()
 
 let default_schedulers = [ Scheduler.Synchronous; Scheduler.Random_order ]
 
-let run ?(seed = 42) ?(runs = 5) ?(spec = default_spec)
+let run ?(seed = 42) ?(runs = 5) ?domains ?(spec = default_spec)
     ?(schedulers = default_schedulers) ?(storms = default_storms)
     ?(max_rounds = 2_000) () =
   List.concat_map
     (fun scheduler ->
-      List.map (measure ~seed ~runs ~spec ~max_rounds scheduler) storms)
+      List.map (measure ?domains ~seed ~runs ~spec ~max_rounds scheduler) storms)
     schedulers
 
 let to_table ?(title = "Churn — in-place recovery from topology events") rows =
@@ -204,7 +233,7 @@ let events_table ?(title = "Churn — applied events by type") rows =
          ])
        rows)
 
-let print ?seed ?runs ?spec ?schedulers ?storms ?max_rounds () =
-  let rows = run ?seed ?runs ?spec ?schedulers ?storms ?max_rounds () in
+let print ?seed ?runs ?domains ?spec ?schedulers ?storms ?max_rounds () =
+  let rows = run ?seed ?runs ?domains ?spec ?schedulers ?storms ?max_rounds () in
   Table.print (to_table rows);
   Table.print (events_table rows)

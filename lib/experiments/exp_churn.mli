@@ -41,6 +41,7 @@ val default_schedulers : Ss_engine.Scheduler.t list
 val run :
   ?seed:int ->
   ?runs:int ->
+  ?domains:int ->
   ?spec:Scenario.spec ->
   ?schedulers:Ss_engine.Scheduler.t list ->
   ?storms:storm list ->
@@ -55,6 +56,7 @@ val events_table : ?title:string -> row list -> Ss_stats.Table.t
 val print :
   ?seed:int ->
   ?runs:int ->
+  ?domains:int ->
   ?spec:Scenario.spec ->
   ?schedulers:Ss_engine.Scheduler.t list ->
   ?storms:storm list ->

@@ -71,19 +71,26 @@ let run_once rng ~count ~radius ~model ~epoch ~epochs algorithm =
   done;
   (retention, clusters)
 
-let run ?(seed = 42) ?(runs = 5) ?(count = 400) ?(radius = 0.1)
+let run ?(seed = 42) ?(runs = 5) ?domains ?(count = 400) ?(radius = 0.1)
     ?(model = Model.pedestrian) ?(epoch = 2.0) ?(epochs = 60)
     ?(algorithms = default_algorithms) () =
   List.map
     (fun algorithm ->
+      (* run_once builds its summaries from its own sub-stream only;
+         merging afterwards in run order keeps the result independent of
+         the domain count. *)
+      let per_run =
+        Runner.replicate ?domains ~seed ~runs (fun ~run rng ->
+            ignore run;
+            run_once rng ~count ~radius ~model ~epoch ~epochs algorithm)
+      in
       let retention = ref (Summary.create ()) in
       let clusters = ref (Summary.create ()) in
-      Runner.replicate ~seed ~runs (fun ~run rng ->
-          ignore run;
-          let r, c = run_once rng ~count ~radius ~model ~epoch ~epochs algorithm in
+      List.iter
+        (fun (r, c) ->
           retention := Summary.merge !retention r;
           clusters := Summary.merge !clusters c)
-      |> ignore;
+        per_run;
       {
         algorithm = label algorithm;
         retention = !retention;
@@ -109,5 +116,6 @@ let to_table ?(title = "Metric comparison — head retention under mobility")
          ])
        rows)
 
-let print ?seed ?runs ?count ?radius ?model ?epoch ?epochs () =
-  Table.print (to_table (run ?seed ?runs ?count ?radius ?model ?epoch ?epochs ()))
+let print ?seed ?runs ?domains ?count ?radius ?model ?epoch ?epochs () =
+  Table.print
+    (to_table (run ?seed ?runs ?domains ?count ?radius ?model ?epoch ?epochs ()))

@@ -26,6 +26,7 @@ type result = {
 val run :
   ?seed:int ->
   ?runs:int ->
+  ?domains:int ->
   ?count:int ->
   ?radius:float ->
   ?model:Ss_mobility.Model.t ->
@@ -40,6 +41,7 @@ val to_table : ?title:string -> result list -> Ss_stats.Table.t
 val print :
   ?seed:int ->
   ?runs:int ->
+  ?domains:int ->
   ?count:int ->
   ?radius:float ->
   ?model:Ss_mobility.Model.t ->

@@ -12,8 +12,8 @@ let default_radii = [ 0.05; 0.06; 0.07; 0.08; 0.09; 0.1 ]
 
 type row = { scenario : string; radius : float; steps : Summary.t }
 
-let measure ?(gamma_spec = Gamma.delta_sq) ~seed ~runs spec =
-  Runner.summarize ~seed ~runs (fun rng ->
+let measure ?(gamma_spec = Gamma.delta_sq) ?domains ~seed ~runs spec =
+  Runner.summarize ?domains ~seed ~runs (fun rng ->
       let world = Scenario.build rng spec in
       let result =
         Dag_id.build_spec rng world.Scenario.graph ~ids:world.Scenario.ids
@@ -21,13 +21,13 @@ let measure ?(gamma_spec = Gamma.delta_sq) ~seed ~runs spec =
       in
       float_of_int result.Dag_id.steps)
 
-let run ?(seed = 42) ?(runs = 30) ?(intensity = 1000.0)
+let run ?(seed = 42) ?(runs = 30) ?domains ?(intensity = 1000.0)
     ?(radii = default_radii) () =
   let grid_rows =
     List.map
       (fun radius ->
         let spec = Scenario.grid ~radius () in
-        { scenario = "grid"; radius; steps = measure ~seed ~runs spec })
+        { scenario = "grid"; radius; steps = measure ?domains ~seed ~runs spec })
       radii
   in
   let random_rows =
@@ -37,7 +37,7 @@ let run ?(seed = 42) ?(runs = 30) ?(intensity = 1000.0)
         {
           scenario = "random geometry";
           radius;
-          steps = measure ~seed ~runs spec;
+          steps = measure ?domains ~seed ~runs spec;
         })
       radii
   in
@@ -57,5 +57,5 @@ let to_table ?(title = "Table 3 — steps to build the DAG (gamma = delta^2)")
   let t = Table.add_row t (line "Grid" grid_rows) in
   Table.add_row t (line "Random geometry" random_rows)
 
-let print ?seed ?runs ?intensity ?radii () =
-  Table.print (to_table (run ?seed ?runs ?intensity ?radii ()))
+let print ?seed ?runs ?domains ?intensity ?radii () =
+  Table.print (to_table (run ?seed ?runs ?domains ?intensity ?radii ()))

@@ -12,6 +12,7 @@ val default_radii : float list
 
 val measure :
   ?gamma_spec:Ss_cluster.Gamma.t ->
+  ?domains:int ->
   seed:int ->
   runs:int ->
   Scenario.spec ->
@@ -21,6 +22,7 @@ val measure :
 val run :
   ?seed:int ->
   ?runs:int ->
+  ?domains:int ->
   ?intensity:float ->
   ?radii:float list ->
   unit ->
@@ -30,4 +32,10 @@ val run :
 val to_table : ?title:string -> row list * row list -> Ss_stats.Table.t
 
 val print :
-  ?seed:int -> ?runs:int -> ?intensity:float -> ?radii:float list -> unit -> unit
+  ?seed:int ->
+  ?runs:int ->
+  ?domains:int ->
+  ?intensity:float ->
+  ?radii:float list ->
+  unit ->
+  unit

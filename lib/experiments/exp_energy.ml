@@ -17,29 +17,36 @@ type row = {
   head_changes : Summary.t;
 }
 
-let measure ~seed ~runs ~spec ~energy_aware =
+let measure ?domains ~seed ~runs ~spec ~energy_aware () =
+  let per_run =
+    Runner.replicate ?domains ~seed ~runs (fun ~run rng ->
+        ignore run;
+        let world = Scenario.build rng spec in
+        let lifetime =
+          Energy.simulate_lifetime ~energy_aware rng world.Scenario.graph
+            ~ids:world.Scenario.ids
+        in
+        ( lifetime.Energy.epochs_to_first_death,
+          lifetime.Energy.epochs_to_half_dead,
+          lifetime.Energy.total_head_changes ))
+  in
   let first_death = Summary.create () in
   let half_dead = Summary.create () in
   let head_changes = Summary.create () in
-  Runner.replicate ~seed ~runs (fun ~run rng ->
-      ignore run;
-      let world = Scenario.build rng spec in
-      let lifetime =
-        Energy.simulate_lifetime ~energy_aware rng world.Scenario.graph
-          ~ids:world.Scenario.ids
-      in
-      Summary.add_int first_death lifetime.Energy.epochs_to_first_death;
-      Summary.add_int half_dead lifetime.Energy.epochs_to_half_dead;
-      Summary.add_int head_changes lifetime.Energy.total_head_changes)
-  |> ignore;
+  List.iter
+    (fun (first, half, changes) ->
+      Summary.add_int first_death first;
+      Summary.add_int half_dead half;
+      Summary.add_int head_changes changes)
+    per_run;
   { label = ""; first_death; half_dead; head_changes }
 
-let run ?(seed = 42) ?(runs = 5)
+let run ?(seed = 42) ?(runs = 5) ?domains
     ?(spec = Scenario.poisson ~intensity:200.0 ~radius:0.12 ()) () =
   [
-    { (measure ~seed ~runs ~spec ~energy_aware:true) with
+    { (measure ?domains ~seed ~runs ~spec ~energy_aware:true ()) with
       label = "energy-aware election" };
-    { (measure ~seed ~runs ~spec ~energy_aware:false) with
+    { (measure ?domains ~seed ~runs ~spec ~energy_aware:false ()) with
       label = "plain density election" };
   ]
 
@@ -62,4 +69,5 @@ let to_table ?(title = "Energy — network lifetime in duty epochs") rows =
          ])
        rows)
 
-let print ?seed ?runs ?spec () = Table.print (to_table (run ?seed ?runs ?spec ()))
+let print ?seed ?runs ?domains ?spec () =
+  Table.print (to_table (run ?seed ?runs ?domains ?spec ()))

@@ -11,7 +11,14 @@ type row = {
 }
 
 val run :
-  ?seed:int -> ?runs:int -> ?spec:Scenario.spec -> unit -> row list
+  ?seed:int ->
+  ?runs:int ->
+  ?domains:int ->
+  ?spec:Scenario.spec ->
+  unit ->
+  row list
 
 val to_table : ?title:string -> row list -> Ss_stats.Table.t
-val print : ?seed:int -> ?runs:int -> ?spec:Scenario.spec -> unit -> unit
+
+val print :
+  ?seed:int -> ?runs:int -> ?domains:int -> ?spec:Scenario.spec -> unit -> unit

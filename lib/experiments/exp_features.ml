@@ -24,9 +24,9 @@ type row = { radius : float; with_dag : cell; without_dag : cell }
 
 let fields = [ "clusters"; "ecc"; "tree"; "rounds" ]
 
-let measure_cell ~seed ~runs ~config spec =
+let measure_cell ?domains ~seed ~runs ~config spec =
   let summaries =
-    Runner.summarize_fields ~seed ~runs fields (fun rng ->
+    Runner.summarize_fields ?domains ~seed ~runs fields (fun rng ->
         let world = Scenario.build rng spec in
         let outcome =
           Algorithm.run rng config world.Scenario.graph ~ids:world.Scenario.ids
@@ -51,24 +51,25 @@ let measure_cell ~seed ~runs ~config spec =
     stabilization_rounds = get "rounds";
   }
 
-let measure_row ~seed ~runs ~spec_of radius =
+let measure_row ?domains ~seed ~runs ~spec_of radius =
   let spec = spec_of radius in
   {
     radius;
-    with_dag = measure_cell ~seed ~runs ~config:Config.with_dag spec;
-    without_dag = measure_cell ~seed ~runs ~config:Config.basic spec;
+    with_dag = measure_cell ?domains ~seed ~runs ~config:Config.with_dag spec;
+    without_dag = measure_cell ?domains ~seed ~runs ~config:Config.basic spec;
   }
 
-let run_random ?(seed = 42) ?(runs = 30) ?(intensity = 1000.0)
+let run_random ?(seed = 42) ?(runs = 30) ?domains ?(intensity = 1000.0)
     ?(radii = default_radii) () =
   List.map
-    (measure_row ~seed ~runs ~spec_of:(fun radius ->
+    (measure_row ?domains ~seed ~runs ~spec_of:(fun radius ->
          Scenario.poisson ~intensity ~radius ()))
     radii
 
-let run_grid ?(seed = 42) ?(runs = 30) ?(radii = default_radii) () =
+let run_grid ?(seed = 42) ?(runs = 30) ?domains ?(radii = default_radii) () =
   List.map
-    (measure_row ~seed ~runs ~spec_of:(fun radius -> Scenario.grid ~radius ()))
+    (measure_row ?domains ~seed ~runs ~spec_of:(fun radius ->
+         Scenario.grid ~radius ()))
     radii
 
 let to_table ~title rows =
@@ -97,14 +98,14 @@ let to_table ~title rows =
   Table.add_row t
     (line "stabilization rounds" (fun c -> c.stabilization_rounds) 1)
 
-let print_random ?seed ?runs ?intensity ?radii () =
+let print_random ?seed ?runs ?domains ?intensity ?radii () =
   Table.print
     (to_table ~title:"Table 4 — cluster features on a random geometric graph"
-       (run_random ?seed ?runs ?intensity ?radii ()))
+       (run_random ?seed ?runs ?domains ?intensity ?radii ()))
 
-let print_grid ?seed ?runs ?radii () =
+let print_grid ?seed ?runs ?domains ?radii () =
   Table.print
     (to_table
        ~title:
          "Table 5 — cluster features on a grid with adversarial (row-major) ids"
-       (run_grid ?seed ?runs ?radii ()))
+       (run_grid ?seed ?runs ?domains ?radii ()))

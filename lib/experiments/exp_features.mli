@@ -15,21 +15,45 @@ val default_radii : float list
 (** The paper's columns: 0.05, 0.08, 0.1. *)
 
 val measure_cell :
-  seed:int -> runs:int -> config:Ss_cluster.Config.t -> Scenario.spec -> cell
+  ?domains:int ->
+  seed:int ->
+  runs:int ->
+  config:Ss_cluster.Config.t ->
+  Scenario.spec ->
+  cell
 
 val run_random :
   ?seed:int ->
   ?runs:int ->
+  ?domains:int ->
   ?intensity:float ->
   ?radii:float list ->
   unit ->
   row list
 
-val run_grid : ?seed:int -> ?runs:int -> ?radii:float list -> unit -> row list
+val run_grid :
+  ?seed:int ->
+  ?runs:int ->
+  ?domains:int ->
+  ?radii:float list ->
+  unit ->
+  row list
 
 val to_table : title:string -> row list -> Ss_stats.Table.t
 
 val print_random :
-  ?seed:int -> ?runs:int -> ?intensity:float -> ?radii:float list -> unit -> unit
+  ?seed:int ->
+  ?runs:int ->
+  ?domains:int ->
+  ?intensity:float ->
+  ?radii:float list ->
+  unit ->
+  unit
 
-val print_grid : ?seed:int -> ?runs:int -> ?radii:float list -> unit -> unit
+val print_grid :
+  ?seed:int ->
+  ?runs:int ->
+  ?domains:int ->
+  ?radii:float list ->
+  unit ->
+  unit

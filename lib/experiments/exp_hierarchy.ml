@@ -17,31 +17,38 @@ type row = {
 
 let max_levels = 5
 
-let measure ~seed ~runs ~radius intensity =
+let measure ?domains ~seed ~runs ~radius intensity =
+  let per_run =
+    Runner.replicate ?domains ~seed ~runs (fun ~run rng ->
+        ignore run;
+        let world =
+          Scenario.build rng (Scenario.poisson ~intensity ~radius ())
+        in
+        let h =
+          Hierarchy.build ~max_levels rng world.Scenario.graph
+            ~ids:world.Scenario.ids
+        in
+        ( Graph.node_count world.Scenario.graph,
+          Hierarchy.level_count h,
+          Hierarchy.heads_per_level h ))
+  in
   let nodes = Summary.create () in
   let levels = Summary.create () in
   let per_level = Array.init max_levels (fun _ -> Summary.create ()) in
-  Runner.replicate ~seed ~runs (fun ~run rng ->
-      ignore run;
-      let world =
-        Scenario.build rng (Scenario.poisson ~intensity ~radius ())
-      in
-      let h =
-        Hierarchy.build ~max_levels rng world.Scenario.graph
-          ~ids:world.Scenario.ids
-      in
-      Summary.add_int nodes (Graph.node_count world.Scenario.graph);
-      Summary.add_int levels (Hierarchy.level_count h);
+  List.iter
+    (fun (node_count, level_count, heads) ->
+      Summary.add_int nodes node_count;
+      Summary.add_int levels level_count;
       List.iteri
         (fun i count ->
           if i < max_levels then Summary.add_int per_level.(i) count)
-        (Hierarchy.heads_per_level h))
-  |> ignore;
+        heads)
+    per_run;
   { intensity; nodes; per_level; levels }
 
-let run ?(seed = 42) ?(runs = 10) ?(radius = 0.1)
+let run ?(seed = 42) ?(runs = 10) ?domains ?(radius = 0.1)
     ?(intensities = [ 250.0; 500.0; 1000.0 ]) () =
-  List.map (measure ~seed ~runs ~radius) intensities
+  List.map (measure ?domains ~seed ~runs ~radius) intensities
 
 let to_table ?(title = "Hierarchy — cluster-heads per level") rows =
   let headers =
@@ -66,5 +73,5 @@ let to_table ?(title = "Hierarchy — cluster-heads per level") rows =
          @ [ Table.cell_float ~decimals:1 (Summary.mean r.levels) ])
        rows)
 
-let print ?seed ?runs ?radius ?intensities () =
-  Table.print (to_table (run ?seed ?runs ?radius ?intensities ()))
+let print ?seed ?runs ?domains ?radius ?intensities () =
+  Table.print (to_table (run ?seed ?runs ?domains ?radius ?intensities ()))

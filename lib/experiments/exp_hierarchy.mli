@@ -14,6 +14,7 @@ val max_levels : int
 val run :
   ?seed:int ->
   ?runs:int ->
+  ?domains:int ->
   ?radius:float ->
   ?intensities:float list ->
   unit ->
@@ -24,6 +25,7 @@ val to_table : ?title:string -> row list -> Ss_stats.Table.t
 val print :
   ?seed:int ->
   ?runs:int ->
+  ?domains:int ->
   ?radius:float ->
   ?intensities:float list ->
   unit ->

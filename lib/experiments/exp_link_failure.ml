@@ -34,50 +34,56 @@ let faded rng graph ~rate =
   let positions = Graph.positions graph in
   Graph.of_edges ?positions ~n !edges
 
-let measure_rate ~seed ~runs ~spec ~epochs rate =
+let measure_rate ?domains ~seed ~runs ~spec ~epochs rate =
+  (* Each run returns its per-epoch observations (epoch order preserved);
+     the summaries are then filled in run order below, so the numbers are
+     the same for any domain count. *)
+  let per_run =
+    Runner.replicate ?domains ~seed ~runs (fun ~run rng ->
+        ignore run;
+        let world = Scenario.build rng spec in
+        let base = world.Scenario.graph in
+        let ids = world.Scenario.ids in
+        let cluster graph init_heads =
+          Algorithm.run ?init_heads rng Config.basic graph ~ids
+        in
+        let observations = ref [] in
+        let previous = ref (cluster base None) in
+        for _ = 1 to epochs do
+          let prev = (!previous).Algorithm.assignment in
+          let init_heads =
+            Array.init (Graph.node_count base) (fun p -> Assignment.head prev p)
+          in
+          let epoch_graph = faded rng base ~rate in
+          let outcome = cluster epoch_graph (Some init_heads) in
+          observations :=
+            ( outcome.Algorithm.rounds,
+              Metrics.head_retention ~before:prev
+                ~after:outcome.Algorithm.assignment,
+              Metrics.membership_stability ~before:prev
+                ~after:outcome.Algorithm.assignment )
+            :: !observations;
+          previous := outcome
+        done;
+        List.rev !observations)
+  in
   let rounds = Summary.create () in
   let retention = Summary.create () in
   let membership = Summary.create () in
-  Runner.replicate ~seed ~runs (fun ~run rng ->
-      ignore run;
-      let world = Scenario.build rng spec in
-      let base = world.Scenario.graph in
-      let ids = world.Scenario.ids in
-      let cluster graph init_heads =
-        Algorithm.run ?init_heads rng Config.basic graph ~ids
-      in
-      let previous = ref (cluster base None) in
-      for _ = 1 to epochs do
-        let prev = (!previous).Algorithm.assignment in
-        let init_heads =
-          Array.init (Graph.node_count base) (fun p -> Assignment.head prev p)
-        in
-        let epoch_graph = faded rng base ~rate in
-        let outcome = cluster epoch_graph (Some init_heads) in
-        Summary.add_int rounds outcome.Algorithm.rounds;
-        (match
-           Metrics.head_retention ~before:prev
-             ~after:outcome.Algorithm.assignment
-         with
-        | Some r -> Summary.add retention r
-        | None -> ());
-        (match
-           Metrics.membership_stability ~before:prev
-             ~after:outcome.Algorithm.assignment
-         with
-        | Some s -> Summary.add membership s
-        | None -> ());
-        previous := outcome
-      done)
-  |> ignore;
+  List.iter
+    (List.iter (fun (epoch_rounds, epoch_retention, epoch_membership) ->
+         Summary.add_int rounds epoch_rounds;
+         Option.iter (Summary.add retention) epoch_retention;
+         Option.iter (Summary.add membership) epoch_membership))
+    per_run;
   { failure_rate = rate; rounds; retention; membership }
 
 let default_rates = [ 0.0; 0.01; 0.05; 0.1; 0.2; 0.4 ]
 
-let run ?(seed = 42) ?(runs = 3)
+let run ?(seed = 42) ?(runs = 3) ?domains
     ?(spec = Scenario.poisson ~intensity:300.0 ~radius:0.1 ()) ?(epochs = 30)
     ?(rates = default_rates) () =
-  List.map (measure_rate ~seed ~runs ~spec ~epochs) rates
+  List.map (measure_rate ?domains ~seed ~runs ~spec ~epochs) rates
 
 let to_table ?(title = "Stabilization vs link-failure rate (per epoch)") rows =
   let t =
@@ -100,5 +106,5 @@ let to_table ?(title = "Stabilization vs link-failure rate (per epoch)") rows =
          ])
        rows)
 
-let print ?seed ?runs ?spec ?epochs ?rates () =
-  Table.print (to_table (run ?seed ?runs ?spec ?epochs ?rates ()))
+let print ?seed ?runs ?domains ?spec ?epochs ?rates () =
+  Table.print (to_table (run ?seed ?runs ?domains ?spec ?epochs ?rates ()))

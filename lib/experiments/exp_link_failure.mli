@@ -21,6 +21,7 @@ val default_rates : float list
 val run :
   ?seed:int ->
   ?runs:int ->
+  ?domains:int ->
   ?spec:Scenario.spec ->
   ?epochs:int ->
   ?rates:float list ->
@@ -32,6 +33,7 @@ val to_table : ?title:string -> row list -> Ss_stats.Table.t
 val print :
   ?seed:int ->
   ?runs:int ->
+  ?domains:int ->
   ?spec:Scenario.spec ->
   ?epochs:int ->
   ?rates:float list ->

@@ -85,12 +85,13 @@ type result = {
   basic : Summary.t;
 }
 
-let run ?(params = default_params) ?(regimes = [ pedestrian; vehicular ]) () =
+let run ?(params = default_params) ?domains
+    ?(regimes = [ pedestrian; vehicular ]) () =
   List.map
     (fun { label; model } ->
       let measure config =
         List.fold_left Summary.merge (Summary.create ())
-          (Runner.replicate ~seed:params.seed ~runs:params.runs
+          (Runner.replicate ?domains ~seed:params.seed ~runs:params.runs
              (fun ~run rng ->
                ignore run;
                run_once rng ~params ~model ~config))
@@ -119,4 +120,5 @@ let to_table ?(title = "Mobility — cluster-head retention per 2 s epoch") rows
          ])
        rows)
 
-let print ?params ?regimes () = Table.print (to_table (run ?params ?regimes ()))
+let print ?params ?domains ?regimes () =
+  Table.print (to_table (run ?params ?domains ?regimes ()))

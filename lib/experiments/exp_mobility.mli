@@ -32,6 +32,10 @@ type result = {
   basic : Ss_stats.Summary.t;
 }
 
-val run : ?params:params -> ?regimes:regime list -> unit -> result list
+val run :
+  ?params:params -> ?domains:int -> ?regimes:regime list -> unit -> result list
+
 val to_table : ?title:string -> result list -> Ss_stats.Table.t
-val print : ?params:params -> ?regimes:regime list -> unit -> unit
+
+val print :
+  ?params:params -> ?domains:int -> ?regimes:regime list -> unit -> unit

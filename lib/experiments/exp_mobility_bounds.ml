@@ -27,59 +27,65 @@ type row = {
   membership : Summary.t;
 }
 
-let measure_speed ~seed ~runs ~count ~radius ~epoch ~epochs speed_mps =
-  let rounds = Summary.create () in
-  let retention = Summary.create () in
-  let membership = Summary.create () in
+let measure_speed ?domains ~seed ~runs ~count ~radius ~epoch ~epochs speed_mps =
   let model =
     Model.random_walk ~speed_min:0.0
       ~speed_max:(Model.meters_per_second speed_mps)
       ()
   in
-  Runner.replicate ~seed ~runs (fun ~run rng ->
-      ignore run;
-      let positions =
-        Ss_geom.Point_process.uniform rng ~count ~box:Ss_geom.Bbox.unit_square
-      in
-      let fleet =
-        Fleet.create rng ~model ~box:Ss_geom.Bbox.unit_square positions
-      in
-      let ids = Rng.permutation rng count in
-      let cluster init_heads =
-        let graph = Graph.unit_disk ~radius (Fleet.positions fleet) in
-        Algorithm.run ?init_heads rng Config.basic graph ~ids
-      in
-      let previous = ref (cluster None) in
-      for _ = 1 to epochs do
-        Fleet.step fleet epoch;
-        let prev = (!previous).Algorithm.assignment in
-        let init_heads =
-          Array.init count (fun p -> Assignment.head prev p)
+  (* Per-epoch observations are returned per run (epoch order preserved)
+     and folded into the summaries in run order afterwards: the same
+     numbers whether the runs share one domain or spread over many. *)
+  let per_run =
+    Runner.replicate ?domains ~seed ~runs (fun ~run rng ->
+        ignore run;
+        let positions =
+          Ss_geom.Point_process.uniform rng ~count ~box:Ss_geom.Bbox.unit_square
         in
-        let outcome = cluster (Some init_heads) in
-        Summary.add_int rounds outcome.Algorithm.rounds;
-        (match
-           Metrics.head_retention ~before:prev
-             ~after:outcome.Algorithm.assignment
-         with
-        | Some r -> Summary.add retention r
-        | None -> ());
-        (match
-           Metrics.membership_stability ~before:prev
-             ~after:outcome.Algorithm.assignment
-         with
-        | Some s -> Summary.add membership s
-        | None -> ());
-        previous := outcome
-      done)
-  |> ignore;
+        let fleet =
+          Fleet.create rng ~model ~box:Ss_geom.Bbox.unit_square positions
+        in
+        let ids = Rng.permutation rng count in
+        let cluster init_heads =
+          let graph = Graph.unit_disk ~radius (Fleet.positions fleet) in
+          Algorithm.run ?init_heads rng Config.basic graph ~ids
+        in
+        let observations = ref [] in
+        let previous = ref (cluster None) in
+        for _ = 1 to epochs do
+          Fleet.step fleet epoch;
+          let prev = (!previous).Algorithm.assignment in
+          let init_heads = Array.init count (fun p -> Assignment.head prev p) in
+          let outcome = cluster (Some init_heads) in
+          observations :=
+            ( outcome.Algorithm.rounds,
+              Metrics.head_retention ~before:prev
+                ~after:outcome.Algorithm.assignment,
+              Metrics.membership_stability ~before:prev
+                ~after:outcome.Algorithm.assignment )
+            :: !observations;
+          previous := outcome
+        done;
+        List.rev !observations)
+  in
+  let rounds = Summary.create () in
+  let retention = Summary.create () in
+  let membership = Summary.create () in
+  List.iter
+    (List.iter (fun (epoch_rounds, epoch_retention, epoch_membership) ->
+         Summary.add_int rounds epoch_rounds;
+         Option.iter (Summary.add retention) epoch_retention;
+         Option.iter (Summary.add membership) epoch_membership))
+    per_run;
   { speed_mps; rounds; retention; membership }
 
 let default_speeds = [ 0.0; 0.5; 1.6; 4.0; 10.0; 20.0 ]
 
-let run ?(seed = 42) ?(runs = 3) ?(count = 300) ?(radius = 0.1)
+let run ?(seed = 42) ?(runs = 3) ?domains ?(count = 300) ?(radius = 0.1)
     ?(epoch = 2.0) ?(epochs = 40) ?(speeds = default_speeds) () =
-  List.map (measure_speed ~seed ~runs ~count ~radius ~epoch ~epochs) speeds
+  List.map
+    (measure_speed ?domains ~seed ~runs ~count ~radius ~epoch ~epochs)
+    speeds
 
 let to_table
     ?(title = "Stabilization vs mobility (per 2 s epoch, warm start)") rows =
@@ -103,6 +109,6 @@ let to_table
          ])
        rows)
 
-let print ?seed ?runs ?count ?radius ?epoch ?epochs ?speeds () =
+let print ?seed ?runs ?domains ?count ?radius ?epoch ?epochs ?speeds () =
   Table.print
-    (to_table (run ?seed ?runs ?count ?radius ?epoch ?epochs ?speeds ()))
+    (to_table (run ?seed ?runs ?domains ?count ?radius ?epoch ?epochs ?speeds ()))

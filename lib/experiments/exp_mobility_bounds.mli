@@ -16,6 +16,7 @@ val default_speeds : float list
 val run :
   ?seed:int ->
   ?runs:int ->
+  ?domains:int ->
   ?count:int ->
   ?radius:float ->
   ?epoch:float ->
@@ -29,6 +30,7 @@ val to_table : ?title:string -> row list -> Ss_stats.Table.t
 val print :
   ?seed:int ->
   ?runs:int ->
+  ?domains:int ->
   ?count:int ->
   ?radius:float ->
   ?epoch:float ->

@@ -79,8 +79,8 @@ let run_once rng ~spec =
     per_node father_ok,
     per_node head_ok )
 
-let run ?(seed = 42) ?(runs = 10) ?(spec = Scenario.poisson ~intensity:300.0 ~radius:0.1 ())
-    () =
+let run ?(seed = 42) ?(runs = 10) ?domains
+    ?(spec = Scenario.poisson ~intensity:300.0 ~radius:0.1 ()) () =
   let acc =
     {
       neighbors = Summary.create ();
@@ -100,7 +100,9 @@ let run ?(seed = 42) ?(runs = 10) ?(spec = Scenario.poisson ~intensity:300.0 ~ra
       add acc.density dens;
       add acc.father father;
       add acc.head head)
-    (Runner.replicate ~seed ~runs (fun ~run rng -> ignore run; run_once rng ~spec));
+    (Runner.replicate ?domains ~seed ~runs (fun ~run rng ->
+         ignore run;
+         run_once rng ~spec));
   acc
 
 let to_table ?(title = "Table 2 — knowledge schedule (steps until correct)")
@@ -126,4 +128,5 @@ let to_table ?(title = "Table 2 — knowledge schedule (steps until correct)")
       row "cluster-head" acc.head;
     ]
 
-let print ?seed ?runs ?spec () = Table.print (to_table (run ?seed ?runs ?spec ()))
+let print ?seed ?runs ?domains ?spec () =
+  Table.print (to_table (run ?seed ?runs ?domains ?spec ()))

@@ -11,8 +11,14 @@ type milestones = {
 }
 
 val run :
-  ?seed:int -> ?runs:int -> ?spec:Scenario.spec -> unit -> milestones
+  ?seed:int ->
+  ?runs:int ->
+  ?domains:int ->
+  ?spec:Scenario.spec ->
+  unit ->
+  milestones
 
 val to_table : ?title:string -> milestones -> Ss_stats.Table.t
 
-val print : ?seed:int -> ?runs:int -> ?spec:Scenario.spec -> unit -> unit
+val print :
+  ?seed:int -> ?runs:int -> ?domains:int -> ?spec:Scenario.spec -> unit -> unit

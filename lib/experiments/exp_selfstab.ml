@@ -47,58 +47,69 @@ end)
 
 module E_lossy = Ss_engine.Engine.Make (P_lossy)
 
-let measure_recovery ?(seed = 42) ?(runs = 10)
+let measure_recovery ?(seed = 42) ?(runs = 10) ?domains
     ?(spec = Scenario.poisson ~intensity:300.0 ~radius:0.1 ())
     ?(fractions = [ 0.01; 0.1; 0.5; 1.0 ]) () =
   List.map
     (fun fraction ->
+      (* The per-run body is pure given its sub-stream; aggregation
+         happens below, in run order, so domain-parallel execution
+         cannot move a bit. *)
+      let per_run =
+        Runner.replicate ?domains ~seed ~runs (fun ~run rng ->
+            ignore run;
+            let world = Scenario.build rng spec in
+            let graph = world.Scenario.graph in
+            let first = converge rng graph in
+            let before = Distributed.to_assignment first.E.states in
+            let n = Graph.node_count graph in
+            let count = max 1 (int_of_float (fraction *. float_of_int n)) in
+            let victims = Rng.permutation rng n in
+            for i = 0 to count - 1 do
+              let p = victims.(i) in
+              first.E.states.(p) <- Distributed.corrupt rng p first.E.states.(p)
+            done;
+            let second = converge ~states:first.E.states rng graph in
+            let after = Distributed.to_assignment second.E.states in
+            (second.E.last_change_round, Assignment.equal before after))
+      in
       let rounds = Summary.create () in
       let identical = ref 0 in
-      Runner.replicate ~seed ~runs (fun ~run rng ->
-          ignore run;
-          let world = Scenario.build rng spec in
-          let graph = world.Scenario.graph in
-          let first = converge rng graph in
-          let before = Distributed.to_assignment first.E.states in
-          let n = Graph.node_count graph in
-          let count =
-            max 1 (int_of_float (fraction *. float_of_int n))
-          in
-          let victims = Rng.permutation rng n in
-          for i = 0 to count - 1 do
-            let p = victims.(i) in
-            first.E.states.(p) <- Distributed.corrupt rng p first.E.states.(p)
-          done;
-          let second = converge ~states:first.E.states rng graph in
-          Summary.add_int rounds second.E.last_change_round;
-          let after = Distributed.to_assignment second.E.states in
-          if Assignment.equal before after then incr identical)
-      |> ignore;
+      List.iter
+        (fun (recovery_rounds, same_fixpoint) ->
+          Summary.add_int rounds recovery_rounds;
+          if same_fixpoint then incr identical)
+        per_run;
       { fraction; rounds_to_recover = rounds; identical_result = !identical; runs })
     fractions
 
 type loss_row = { tau : float; rounds : Summary.t; converged : int; runs : int }
 
-let measure_loss ?(seed = 42) ?(runs = 10)
+let measure_loss ?(seed = 42) ?(runs = 10) ?domains
     ?(spec = Scenario.poisson ~intensity:300.0 ~radius:0.1 ())
     ?(taus = [ 1.0; 0.9; 0.7; 0.5 ]) () =
   List.map
     (fun tau ->
+      let per_run =
+        Runner.replicate ?domains ~seed ~runs (fun ~run rng ->
+            ignore run;
+            let world = Scenario.build rng spec in
+            let graph = world.Scenario.graph in
+            let channel = Channel.bernoulli tau in
+            let result =
+              E_lossy.run ~channel ~max_rounds:3_000 ~quiet_rounds:25 rng graph
+            in
+            (result.E_lossy.converged, result.E_lossy.last_change_round))
+      in
       let rounds = Summary.create () in
       let converged = ref 0 in
-      Runner.replicate ~seed ~runs (fun ~run rng ->
-          ignore run;
-          let world = Scenario.build rng spec in
-          let graph = world.Scenario.graph in
-          let channel = Channel.bernoulli tau in
-          let result =
-            E_lossy.run ~channel ~max_rounds:3_000 ~quiet_rounds:25 rng graph
-          in
-          if result.E_lossy.converged then begin
+      List.iter
+        (fun (ok, last_change) ->
+          if ok then begin
             incr converged;
-            Summary.add_int rounds result.E_lossy.last_change_round
+            Summary.add_int rounds last_change
           end)
-      |> ignore;
+        per_run;
       { tau; rounds; converged = !converged; runs })
     taus
 
@@ -139,6 +150,6 @@ let loss_table ?(title = "Self-stabilization — convergence under frame loss")
          ])
        rows)
 
-let print ?seed ?runs ?spec () =
-  Table.print (recovery_table (measure_recovery ?seed ?runs ?spec ()));
-  Table.print (loss_table (measure_loss ?seed ?runs ?spec ()))
+let print ?seed ?runs ?domains ?spec () =
+  Table.print (recovery_table (measure_recovery ?seed ?runs ?domains ?spec ()));
+  Table.print (loss_table (measure_loss ?seed ?runs ?domains ?spec ()))

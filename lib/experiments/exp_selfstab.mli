@@ -13,6 +13,7 @@ type recovery = {
 val measure_recovery :
   ?seed:int ->
   ?runs:int ->
+  ?domains:int ->
   ?spec:Scenario.spec ->
   ?fractions:float list ->
   unit ->
@@ -28,6 +29,7 @@ type loss_row = {
 val measure_loss :
   ?seed:int ->
   ?runs:int ->
+  ?domains:int ->
   ?spec:Scenario.spec ->
   ?taus:float list ->
   unit ->
@@ -36,4 +38,5 @@ val measure_loss :
 val recovery_table : ?title:string -> recovery list -> Ss_stats.Table.t
 val loss_table : ?title:string -> loss_row list -> Ss_stats.Table.t
 
-val print : ?seed:int -> ?runs:int -> ?spec:Scenario.spec -> unit -> unit
+val print :
+  ?seed:int -> ?runs:int -> ?domains:int -> ?spec:Scenario.spec -> unit -> unit

@@ -1,0 +1,290 @@
+(* The determinism contract of the domain-parallel runner: every registered
+   experiment driver must produce results at ~domains:4 that are
+   structurally identical — exact float equality, not tolerance — to the
+   sequential ~domains:1 run, and the Pool itself must preserve index
+   order, propagate exceptions and survive reuse. Scales are miniature;
+   the point is bit-equality, not statistics. *)
+
+module E = Ss_experiments
+module Scenario = E.Scenario
+module Pool = Ss_stats.Pool
+module Counter = Ss_stats.Counter
+module Rng = Ss_prng.Rng
+
+(* Polymorphic [compare] rather than [=]: summaries of empty run sets hold
+   nan means, and nan = nan must count as equal here. *)
+let check_identical name a b =
+  Alcotest.(check bool) name true (compare a b = 0)
+
+(* ------------------------------------------------------------------ Pool *)
+
+let test_pool_index_order () =
+  let a = Pool.map_n ~domains:4 100 (fun i -> i * i) in
+  Alcotest.(check bool) "squares in order" true
+    (a = Array.init 100 (fun i -> i * i))
+
+let test_pool_domains_exceed_items () =
+  let a = Pool.map_n ~domains:8 3 (fun i -> i + 1) in
+  Alcotest.(check bool) "3 items on 8 domains" true (a = [| 1; 2; 3 |])
+
+let test_pool_sequential_matches_parallel () =
+  let f i = float_of_int i ** 1.5 in
+  let seq = Pool.map_n ~domains:1 64 f in
+  let par = Pool.map_n ~domains:4 64 f in
+  check_identical "map_n 1 = map_n 4" seq par
+
+let test_pool_reuse () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check int) "three domains" 3 (Pool.domains pool);
+      let a = Pool.map pool 10 (fun i -> i) in
+      let b = Pool.map pool 7 (fun i -> 10 * i) in
+      Alcotest.(check bool) "first map" true (a = Array.init 10 Fun.id);
+      Alcotest.(check bool) "second map" true
+        (b = Array.init 7 (fun i -> 10 * i)))
+
+let test_pool_exception_lowest_index () =
+  let raised =
+    try
+      ignore
+        (Pool.map_n ~domains:4 32 (fun i ->
+             if i >= 5 then failwith (string_of_int i) else i));
+      None
+    with Failure msg -> Some msg
+  in
+  Alcotest.(check (option string)) "lowest failing index wins" (Some "5") raised
+
+let test_pool_invalid_domains () =
+  Alcotest.check_raises "domains 0"
+    (Invalid_argument "Pool.create: need at least one domain") (fun () ->
+      ignore (Pool.create ~domains:0))
+
+let test_pool_shutdown_idempotent () =
+  let pool = Pool.create ~domains:2 in
+  ignore (Pool.map pool 4 Fun.id);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map pool 4 Fun.id))
+
+(* ---------------------------------------------------------------- Runner *)
+
+let test_replicate_preserves_run_order () =
+  let runs = 23 in
+  let order = E.Runner.replicate ~domains:4 ~seed:1 ~runs (fun ~run _ -> run) in
+  Alcotest.(check (list int)) "run order" (List.init runs Fun.id) order
+
+let test_replicate_domain_invariant () =
+  let f ~run:_ rng = List.init 8 (fun _ -> Rng.unit rng) in
+  let seq = E.Runner.replicate ~domains:1 ~seed:77 ~runs:12 f in
+  List.iter
+    (fun domains ->
+      let par = E.Runner.replicate ~domains ~seed:77 ~runs:12 f in
+      check_identical (Printf.sprintf "domains %d" domains) seq par)
+    [ 2; 3; 4; 7 ]
+
+let test_run_stream_independent_of_total () =
+  (* Run i must see the same sub-stream whether it is one of 4 or of 9. *)
+  let f ~run:_ rng = List.init 4 (fun _ -> Rng.unit rng) in
+  let small = E.Runner.replicate ~seed:13 ~runs:4 f in
+  let large = E.Runner.replicate ~domains:3 ~seed:13 ~runs:9 f in
+  check_identical "first four runs agree" small
+    (List.filteri (fun i _ -> i < 4) large)
+
+let test_streams_prefix_stability () =
+  let draw rngs = Array.map (fun r -> List.init 6 (fun _ -> Rng.unit r)) rngs in
+  let small = draw (E.Runner.streams ~seed:99 ~runs:5) in
+  let large = draw (E.Runner.streams ~seed:99 ~runs:40) in
+  check_identical "prefix of streams" small (Array.sub large 0 5)
+
+let test_summarize_domain_invariant () =
+  let f rng = Rng.unit rng +. Rng.unit rng in
+  let seq = E.Runner.summarize ~domains:1 ~seed:3 ~runs:17 f in
+  let par = E.Runner.summarize ~domains:4 ~seed:3 ~runs:17 f in
+  check_identical "summaries identical" seq par
+
+let test_summarize_fields_domain_invariant () =
+  let fields = [ "x"; "y" ] in
+  let f rng =
+    let x = Rng.unit rng in
+    if x < 0.5 then [ ("x", x) ] else [ ("x", x); ("y", x *. x) ]
+  in
+  let seq = E.Runner.summarize_fields ~domains:1 ~seed:8 ~runs:19 fields f in
+  let par = E.Runner.summarize_fields ~domains:4 ~seed:8 ~runs:19 fields f in
+  check_identical "field summaries identical" seq par
+
+(* ----------------------------------------------- Experiment drivers, 1 = 4 *)
+
+let small_spec = Scenario.poisson ~intensity:80.0 ~radius:0.15 ()
+
+let both f =
+  let seq = f ~domains:1 in
+  let par = f ~domains:4 in
+  (seq, par)
+
+let test_schedule_identical () =
+  let seq, par =
+    both (fun ~domains -> E.Exp_schedule.run ~seed:3 ~runs:3 ~domains ~spec:small_spec ())
+  in
+  check_identical "schedule milestones" seq par
+
+let test_dag_steps_identical () =
+  let seq, par =
+    both (fun ~domains ->
+        E.Exp_dag_steps.run ~seed:3 ~runs:3 ~domains ~intensity:150.0
+          ~radii:[ 0.09; 0.1 ] ())
+  in
+  check_identical "dag-steps rows" seq par
+
+let test_features_identical () =
+  let seq, par =
+    both (fun ~domains ->
+        E.Exp_features.run_grid ~seed:3 ~runs:2 ~domains ~radii:[ 0.13 ] ())
+  in
+  check_identical "grid feature rows" seq par
+
+let test_mobility_identical () =
+  let params =
+    {
+      E.Exp_mobility.default_params with
+      E.Exp_mobility.count = 80;
+      horizon = 20.0;
+      runs = 2;
+    }
+  in
+  let seq, par =
+    both (fun ~domains -> E.Exp_mobility.run ~params ~domains ())
+  in
+  check_identical "mobility results" seq par
+
+let test_selfstab_identical () =
+  let seq, par =
+    both (fun ~domains ->
+        E.Exp_selfstab.measure_recovery ~seed:3 ~runs:3 ~domains
+          ~spec:small_spec ~fractions:[ 0.3; 1.0 ] ())
+  in
+  check_identical "recovery rows" seq par;
+  let seq, par =
+    both (fun ~domains ->
+        E.Exp_selfstab.measure_loss ~seed:3 ~runs:3 ~domains ~spec:small_spec
+          ~taus:[ 0.0; 0.2 ] ())
+  in
+  check_identical "loss rows" seq par
+
+let test_compare_identical () =
+  let seq, par =
+    both (fun ~domains ->
+        E.Exp_compare.run ~seed:3 ~runs:2 ~domains ~count:80 ~epochs:6
+          ~algorithms:
+            [
+              E.Exp_compare.Heuristic Ss_cluster.Metric.Density;
+              E.Exp_compare.Maxmin_d 2;
+            ]
+          ())
+  in
+  check_identical "comparison rows" seq par
+
+let test_energy_identical () =
+  let seq, par =
+    both (fun ~domains ->
+        E.Exp_energy.run ~seed:3 ~runs:2 ~domains
+          ~spec:(Scenario.poisson ~intensity:100.0 ~radius:0.14 ())
+          ())
+  in
+  check_identical "energy rows" seq par
+
+let test_hierarchy_identical () =
+  let seq, par =
+    both (fun ~domains ->
+        E.Exp_hierarchy.run ~seed:3 ~runs:2 ~domains ~radius:0.12
+          ~intensities:[ 120.0 ] ())
+  in
+  check_identical "hierarchy rows" seq par
+
+let test_bounds_identical () =
+  let seq, par =
+    both (fun ~domains ->
+        E.Exp_mobility_bounds.run ~seed:3 ~runs:2 ~domains ~count:60 ~epochs:4
+          ~speeds:[ 1.0; 10.0 ] ())
+  in
+  check_identical "mobility-bounds rows" seq par
+
+let test_link_failure_identical () =
+  let seq, par =
+    both (fun ~domains ->
+        E.Exp_link_failure.run ~seed:3 ~runs:2 ~domains
+          ~spec:(Scenario.poisson ~intensity:100.0 ~radius:0.13 ())
+          ~epochs:4 ~rates:[ 0.0; 0.2 ] ())
+  in
+  check_identical "link-failure rows" seq par
+
+(* Counter.t is hashtable-backed, so compare rows through their sorted
+   event listings rather than the raw representation. *)
+let churn_projection rows =
+  List.map
+    (fun (r : E.Exp_churn.row) ->
+      ( r.E.Exp_churn.scheduler,
+        E.Exp_churn.storm_label r.E.Exp_churn.storm,
+        r.E.Exp_churn.runs,
+        r.E.Exp_churn.bursts,
+        r.E.Exp_churn.recovered,
+        r.E.Exp_churn.recovery,
+        r.E.Exp_churn.peak_ghosts,
+        Counter.to_list r.E.Exp_churn.events,
+        r.E.Exp_churn.legitimate,
+        r.E.Exp_churn.converged ))
+    rows
+
+let test_churn_identical () =
+  let seq, par =
+    both (fun ~domains ->
+        churn_projection
+          (E.Exp_churn.run ~seed:3 ~runs:2 ~domains
+             ~spec:(Scenario.poisson ~intensity:90.0 ~radius:0.14 ())
+             ~schedulers:[ Ss_engine.Scheduler.Synchronous ]
+             ~storms:[ E.Exp_churn.Crash_recover; E.Exp_churn.Sleep_wake ]
+             ()))
+  in
+  check_identical "churn rows" seq par
+
+let suite =
+  [
+    Alcotest.test_case "pool keeps index order" `Quick test_pool_index_order;
+    Alcotest.test_case "pool with more domains than items" `Quick
+      test_pool_domains_exceed_items;
+    Alcotest.test_case "pool sequential = parallel" `Quick
+      test_pool_sequential_matches_parallel;
+    Alcotest.test_case "pool survives reuse" `Quick test_pool_reuse;
+    Alcotest.test_case "pool re-raises lowest failing index" `Quick
+      test_pool_exception_lowest_index;
+    Alcotest.test_case "pool rejects zero domains" `Quick
+      test_pool_invalid_domains;
+    Alcotest.test_case "pool shutdown is idempotent" `Quick
+      test_pool_shutdown_idempotent;
+    Alcotest.test_case "replicate keeps run order" `Quick
+      test_replicate_preserves_run_order;
+    Alcotest.test_case "replicate invariant in domain count" `Quick
+      test_replicate_domain_invariant;
+    Alcotest.test_case "run stream independent of runs total" `Quick
+      test_run_stream_independent_of_total;
+    Alcotest.test_case "streams prefix-stable" `Quick
+      test_streams_prefix_stability;
+    Alcotest.test_case "summarize invariant in domain count" `Quick
+      test_summarize_domain_invariant;
+    Alcotest.test_case "summarize_fields invariant in domain count" `Quick
+      test_summarize_fields_domain_invariant;
+    Alcotest.test_case "T2 schedule 1 = 4 domains" `Slow test_schedule_identical;
+    Alcotest.test_case "T3 dag-steps 1 = 4 domains" `Slow
+      test_dag_steps_identical;
+    Alcotest.test_case "T5 features 1 = 4 domains" `Slow test_features_identical;
+    Alcotest.test_case "mobility 1 = 4 domains" `Slow test_mobility_identical;
+    Alcotest.test_case "selfstab 1 = 4 domains" `Slow test_selfstab_identical;
+    Alcotest.test_case "compare 1 = 4 domains" `Slow test_compare_identical;
+    Alcotest.test_case "energy 1 = 4 domains" `Slow test_energy_identical;
+    Alcotest.test_case "hierarchy 1 = 4 domains" `Slow test_hierarchy_identical;
+    Alcotest.test_case "mobility-bounds 1 = 4 domains" `Slow
+      test_bounds_identical;
+    Alcotest.test_case "link-failure 1 = 4 domains" `Slow
+      test_link_failure_identical;
+    Alcotest.test_case "churn 1 = 4 domains" `Slow test_churn_identical;
+  ]

@@ -186,6 +186,30 @@ let test_split_n () =
   in
   Alcotest.(check bool) "children distinct" true distinct
 
+let test_split_n_prefixes_disjoint () =
+  (* Pairwise non-overlap: across k sibling streams, no draw in any
+     64-value prefix repeats anywhere in any other sibling's prefix. A
+     collision of two 53-bit uniform draws has probability ~2^-35 over
+     this whole table, so any hit means the streams share state. *)
+  let parent = Rng.create ~seed:2025 in
+  let children = Rng.split_n parent 8 in
+  let prefixes =
+    Array.map (fun c -> Array.init 64 (fun _ -> Rng.unit c)) children
+  in
+  let seen = Hashtbl.create 512 in
+  Array.iteri
+    (fun child prefix ->
+      Array.iter
+        (fun v ->
+          (match Hashtbl.find_opt seen v with
+          | Some other when other <> child ->
+              Alcotest.failf "draw %.17g appears in streams %d and %d" v other
+                child
+          | _ -> ());
+          Hashtbl.replace seen v child)
+        prefix)
+    prefixes
+
 let test_mix64_avalanche () =
   (* Flipping one input bit should flip roughly half the output bits. *)
   let a = Splitmix64.of_int 999 and b = Splitmix64.of_int 999 in
@@ -219,5 +243,7 @@ let suite =
     Alcotest.test_case "shuffle preserves multiset" `Quick
       test_shuffle_preserves_multiset;
     Alcotest.test_case "split_n independence" `Quick test_split_n;
+    Alcotest.test_case "split_n prefixes pairwise disjoint" `Quick
+      test_split_n_prefixes_disjoint;
     Alcotest.test_case "splitmix64 replay" `Quick test_mix64_avalanche;
   ]

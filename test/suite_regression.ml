@@ -9,6 +9,8 @@ module Rng = Ss_prng.Rng
 module Builders = Ss_topology.Builders
 module Graph = Ss_topology.Graph
 module C = Ss_cluster
+module E = Ss_experiments
+module Summary = Ss_stats.Summary
 
 (* The shared fixture: a seeded random geometric world. All draws happen in
    a fixed order, so every pinned value below is deterministic. *)
@@ -89,6 +91,59 @@ let test_maxmin_run () =
   Alcotest.(check int) "maxmin clusters" 17
     (C.Assignment.cluster_count (C.Maxmin.cluster g ~ids ~d:2))
 
+(* Pinned experiment pipelines, exercised sequentially and again on a
+   multi-domain pool: the exact float equality proves the parallel runner
+   reproduces the sequential aggregation bit for bit. *)
+
+let check_selfstab_golden ~domains =
+  let spec = E.Scenario.poisson ~intensity:80.0 ~radius:0.15 () in
+  match
+    E.Exp_selfstab.measure_recovery ~seed:7 ~runs:3 ~domains ~spec
+      ~fractions:[ 0.5 ] ()
+  with
+  | [ r ] ->
+      let rounds = r.E.Exp_selfstab.rounds_to_recover in
+      Alcotest.(check int) "runs" 3 r.E.Exp_selfstab.runs;
+      Alcotest.(check int) "identical fixpoints" 3
+        r.E.Exp_selfstab.identical_result;
+      Alcotest.(check int) "rounds count" 3 (Summary.count rounds);
+      Alcotest.(check (float 0.0)) "rounds mean" 5.666666666666667
+        (Summary.mean rounds);
+      Alcotest.(check (float 0.0)) "rounds stddev" 1.1547005383792517
+        (Summary.stddev rounds);
+      Alcotest.(check (float 0.0)) "rounds min" 5.0 (Summary.minimum rounds);
+      Alcotest.(check (float 0.0)) "rounds max" 7.0 (Summary.maximum rounds)
+  | _ -> Alcotest.fail "expected exactly one recovery row"
+
+let check_churn_golden ~domains =
+  match
+    E.Exp_churn.run ~seed:7 ~runs:2 ~domains
+      ~spec:(E.Scenario.poisson ~intensity:90.0 ~radius:0.14 ())
+      ~schedulers:[ Ss_engine.Scheduler.Synchronous ]
+      ~storms:[ E.Exp_churn.Crash_recover ] ()
+  with
+  | [ r ] ->
+      Alcotest.(check int) "runs" 2 r.E.Exp_churn.runs;
+      Alcotest.(check int) "bursts" 4 r.E.Exp_churn.bursts;
+      Alcotest.(check int) "recovered" 4 r.E.Exp_churn.recovered;
+      Alcotest.(check int) "recovery count" 4
+        (Summary.count r.E.Exp_churn.recovery);
+      Alcotest.(check (float 0.0)) "recovery mean" 8.0
+        (Summary.mean r.E.Exp_churn.recovery);
+      Alcotest.(check (float 0.0)) "peak ghosts mean" 125.5
+        (Summary.mean r.E.Exp_churn.peak_ghosts);
+      Alcotest.(check int) "legitimate" 2 r.E.Exp_churn.legitimate;
+      Alcotest.(check int) "converged" 2 r.E.Exp_churn.converged;
+      Alcotest.(check (list (pair string int)))
+        "events" [ ("crash", 48); ("join", 48) ]
+        (Ss_stats.Counter.to_list r.E.Exp_churn.events)
+  | _ -> Alcotest.fail "expected exactly one churn row"
+
+let test_selfstab_golden_sequential () = check_selfstab_golden ~domains:1
+let test_selfstab_golden_parallel () = check_selfstab_golden ~domains:3
+let test_churn_golden_sequential () = check_churn_golden ~domains:1
+let test_churn_golden_parallel () = check_churn_golden ~domains:3
+
 let suite =
   [
     Alcotest.test_case "pinned world shape" `Quick test_world_shape;
@@ -98,4 +153,12 @@ let suite =
     Alcotest.test_case "pinned DAG run" `Quick test_dag_run;
     Alcotest.test_case "pinned grid runs" `Quick test_grid_runs;
     Alcotest.test_case "pinned max-min run" `Quick test_maxmin_run;
+    Alcotest.test_case "pinned selfstab pipeline (1 domain)" `Slow
+      test_selfstab_golden_sequential;
+    Alcotest.test_case "pinned selfstab pipeline (3 domains)" `Slow
+      test_selfstab_golden_parallel;
+    Alcotest.test_case "pinned churn pipeline (1 domain)" `Slow
+      test_churn_golden_sequential;
+    Alcotest.test_case "pinned churn pipeline (3 domains)" `Slow
+      test_churn_golden_parallel;
   ]

@@ -20,6 +20,7 @@ let () =
       ("hierarchy", Suite_hierarchy.suite);
       ("viz", Suite_viz.suite);
       ("experiments", Suite_experiments.suite);
+      ("parallel", Suite_parallel.suite);
       ("theory", Suite_theory.suite);
       ("regression", Suite_regression.suite);
       ("paper-example", Suite_paper_example.suite);
