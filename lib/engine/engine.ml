@@ -182,13 +182,17 @@ module Make (P : Protocol.S) = struct
       in
       if applied > 0 then begin
         event_rounds := (!round, applied) :: !event_rounds;
-        Array.iteri (fun p _ -> live.(p) <- Dynamic.is_alive dyn p) live
+        for p = 0 to Array.length live - 1 do
+          live.(p) <- Dynamic.status dyn p = Dynamic.Alive
+        done
       end;
       let faulted =
         match fault with
         | None -> false
         | Some inject -> inject ~round:!round ~states rng
       in
+      (* Incremental: on event-free rounds this returns the cached graph;
+         after a burst it patches only the rows the events touched. *)
       let g = Dynamic.snapshot dyn in
       let changed = step_round rng g live channel scheduler states in
       history := changed :: !history;

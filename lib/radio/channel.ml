@@ -42,9 +42,10 @@ let tau = function
   | Bernoulli tau -> tau
   | Jammed { tau; _ } -> tau
   | Slotted { slots } ->
-      (* Lower bound on delivery for a receiver of degree d <= slots-ish:
-         exposed as an indication only; the real value depends on local
-         degrees. With one competing neighbor: (slots-1)/slots. *)
+      (* An indication, not a delivery probability: (slots-1)/slots is the
+         no-clash chance against a single competitor (exact only for an
+         isolated pair); every further contending neighbor lowers the
+         realized rate below this. *)
       float_of_int (slots - 1) /. float_of_int slots
 
 let round_plan t rng ~graph =
@@ -68,8 +69,6 @@ let round_plan t rng ~graph =
         && Array.for_all
              (fun r -> r = src || slot.(r) <> slot.(src))
              (Graph.neighbors graph dst)
-
-let delivers t rng ~graph ~src ~dst = round_plan t rng ~graph ~src ~dst
 
 let pp ppf = function
   | Perfect -> Fmt.string ppf "perfect"

@@ -31,21 +31,21 @@ val slotted : slots:int -> t
     being postulated. *)
 
 val tau : t -> float
-(** The baseline delivery probability ([slotted] reports the single-
-    competitor lower bound (slots-1)/slots; the true rate depends on local
-    degrees). *)
+(** The baseline per-frame delivery probability for the memoryless models.
+    For [slotted] the returned value is an {e indication only}, not a
+    delivery probability: (slots-1)/slots is the no-clash chance against a
+    single competitor, exact just for an isolated pair — the realized rate
+    depends on local degrees and every further contending neighbor pushes
+    it lower. *)
 
 val round_plan :
   t -> Ss_prng.Rng.t -> graph:Ss_topology.Graph.t -> src:int -> dst:int -> bool
 (** [round_plan t rng ~graph] draws one Δ(τ) window's delivery function.
     Call once per round and query it for every (sender, 1-neighbor) pair of
     that round — [Slotted] draws the slot assignment at plan time, so all
-    queries within a round see consistent collisions. *)
-
-val delivers :
-  t -> Ss_prng.Rng.t -> graph:Ss_topology.Graph.t -> src:int -> dst:int -> bool
-(** One-off delivery decision — equivalent to building a fresh plan per
-    query. Fine for the memoryless models; for [Slotted], per-query plans
-    re-draw the slots, so prefer {!round_plan} inside engines. *)
+    queries within a round see consistent collisions. Do {e not} build a
+    fresh plan per query: that re-rolls the slot assignment, breaking the
+    within-window consistency contract and costing O(n) per call (there is
+    deliberately no one-shot [delivers] helper). *)
 
 val pp : t Fmt.t

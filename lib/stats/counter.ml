@@ -13,7 +13,10 @@ let count t key = Option.value ~default:0 (Hashtbl.find_opt t key)
 let total t = Hashtbl.fold (fun _ v acc -> acc + v) t 0
 
 let to_list t =
-  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])
+  (* Keys are unique in the table, so ordering by key alone is total. *)
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])
 
 let merge a b =
   let out = Hashtbl.copy a in

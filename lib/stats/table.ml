@@ -7,7 +7,9 @@ type t = {
   title : string;
   header : string list;
   aligns : align list;
-  rows : string list list; (* in insertion order *)
+  rows_rev : string list list;
+      (* newest first, so add_row is O(1) instead of O(rows); renderers
+         reverse once to recover insertion order *)
 }
 
 let create ~title ~header ?aligns () =
@@ -19,14 +21,16 @@ let create ~title ~header ?aligns () =
         a
     | None -> List.map (fun _ -> Right) header
   in
-  { title; header; aligns; rows = [] }
+  { title; header; aligns; rows_rev = [] }
 
 let add_row t cells =
   if List.length cells <> List.length t.header then
     invalid_arg "Table.add_row: cell count mismatch";
-  { t with rows = t.rows @ [ cells ] }
+  { t with rows_rev = cells :: t.rows_rev }
 
 let add_rows t rows = List.fold_left add_row t rows
+
+let rows t = List.rev t.rows_rev
 
 let cell_float ?(decimals = 2) v =
   if Float.is_nan v then "-" else Printf.sprintf "%.*f" decimals v
@@ -37,7 +41,7 @@ let widths t =
   let measure acc row =
     List.map2 (fun w cell -> max w (String.length cell)) acc row
   in
-  List.fold_left measure (List.map String.length t.header) t.rows
+  List.fold_left measure (List.map String.length t.header) t.rows_rev
 
 let pad align width s =
   let fill = width - String.length s in
@@ -75,7 +79,7 @@ let render t =
     (fun row ->
       Buffer.add_string buf (line row);
       Buffer.add_char buf '\n')
-    t.rows;
+    (rows t);
   Buffer.add_string buf rule;
   Buffer.add_char buf '\n';
   Buffer.contents buf
@@ -87,6 +91,6 @@ let escape_csv cell =
 
 let to_csv t =
   let line cells = String.concat "," (List.map escape_csv cells) in
-  String.concat "\n" (line t.header :: List.map line t.rows) ^ "\n"
+  String.concat "\n" (line t.header :: List.map line (rows t)) ^ "\n"
 
 let print t = print_string (render t)

@@ -1,7 +1,9 @@
 (* Liveness mask + link down-set over an immutable base graph. Events are
-   O(1); the effective topology is materialized lazily and cached, so runs
-   without churn never pay for it and runs with churn rebuild at most once
-   per event burst. *)
+   O(degree) — they mark the adjacency rows they touch as dirty — and
+   [snapshot] patches exactly those rows of the previous snapshot instead
+   of rebuilding the whole graph, so a churn burst costs the degrees of the
+   nodes it touched, not O((n + m) log) per round. Runs without churn never
+   pay anything: the snapshot is the base graph while pristine. *)
 
 type status = Alive | Crashed | Asleep
 
@@ -10,7 +12,8 @@ type t = {
   status : status array;
   down : (int * int, unit) Hashtbl.t; (* keyed (p, q) with p < q *)
   mutable cache : Graph.t; (* last materialized snapshot *)
-  mutable dirty : bool;
+  row_dirty : bool array; (* rows of [cache] stale since the last snapshot *)
+  mutable dirty_rows : int list; (* the marked rows, each exactly once *)
 }
 
 let create base =
@@ -19,7 +22,8 @@ let create base =
     status = Array.make (Graph.node_count base) Alive;
     down = Hashtbl.create 16;
     cache = base;
-    dirty = false;
+    row_dirty = Array.make (Graph.node_count base) false;
+    dirty_rows = [];
   }
 
 let base t = t.base
@@ -49,11 +53,22 @@ let nodes_with t wanted =
   done;
   !acc
 
+let mark_row t p =
+  if not t.row_dirty.(p) then begin
+    t.row_dirty.(p) <- true;
+    t.dirty_rows <- p :: t.dirty_rows
+  end
+
+(* A node status change affects its own row and every base neighbor's. *)
+let mark_node t p =
+  mark_row t p;
+  Array.iter (fun q -> mark_row t q) (Graph.neighbors t.base p)
+
 let transition t p ~from ~into =
   check_node t p;
   if List.mem t.status.(p) from then begin
     t.status.(p) <- into;
-    t.dirty <- true;
+    mark_node t p;
     true
   end
   else false
@@ -80,7 +95,8 @@ let link_down t p q =
   if Hashtbl.mem t.down key then false
   else begin
     Hashtbl.replace t.down key ();
-    t.dirty <- true;
+    mark_row t p;
+    mark_row t q;
     true
   end
 
@@ -89,7 +105,8 @@ let link_up t p q =
   let key = norm p q in
   if Hashtbl.mem t.down key then begin
     Hashtbl.remove t.down key;
-    t.dirty <- true;
+    mark_row t p;
+    mark_row t q;
     true
   end
   else false
@@ -99,8 +116,11 @@ let is_link_down t p q =
   check_node t q;
   Hashtbl.mem t.down (norm p q)
 
+let compare_links (p1, q1) (p2, q2) =
+  match Int.compare p1 p2 with 0 -> Int.compare q1 q2 | c -> c
+
 let down_list t =
-  List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) t.down [])
+  List.sort compare_links (Hashtbl.fold (fun e () acc -> e :: acc) t.down [])
 
 let pristine t =
   Hashtbl.length t.down = 0 && Array.for_all (fun s -> s = Alive) t.status
@@ -121,11 +141,41 @@ let materialize t =
     in
     Graph.of_adjacency ?positions:(Graph.positions t.base) adj
 
+(* The effective row of [p]: the base row filtered by liveness and link
+   status. Filtering a sorted array keeps it sorted, so the result needs
+   no re-sort and is bit-identical to what [materialize] computes. *)
+let rebuild_row t p =
+  if t.status.(p) <> Alive then [||]
+  else begin
+    let nbrs = Graph.neighbors t.base p in
+    let len = Array.length nbrs in
+    let buf = Array.make (max len 1) 0 in
+    let k = ref 0 in
+    for i = 0 to len - 1 do
+      let q = nbrs.(i) in
+      if t.status.(q) = Alive && not (Hashtbl.mem t.down (norm p q)) then begin
+        buf.(!k) <- q;
+        incr k
+      end
+    done;
+    if !k = len then nbrs (* untouched: share the base row *)
+    else Array.sub buf 0 !k
+  end
+
 let snapshot t =
-  if t.dirty then begin
-    t.cache <- materialize t;
-    t.dirty <- false
-  end;
+  (match t.dirty_rows with
+  | [] -> ()
+  | dirty ->
+      (if pristine t then t.cache <- t.base
+       else begin
+         let n = node_count t in
+         let rows = Array.init n (fun p -> Graph.neighbors t.cache p) in
+         List.iter (fun p -> rows.(p) <- rebuild_row t p) dirty;
+         t.cache <-
+           Graph.of_sorted_adjacency ?positions:(Graph.positions t.base) rows
+       end);
+      List.iter (fun p -> t.row_dirty.(p) <- false) dirty;
+      t.dirty_rows <- []);
   t.cache
 
 let pp ppf t =

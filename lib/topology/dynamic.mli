@@ -8,7 +8,16 @@
     consistent static {!snapshot} is derived on demand (and cached until
     the next mutation) so protocols keep reading an ordinary immutable
     {!Graph.t}: nodes that are crashed or asleep appear isolated, and
-    downed links are absent from both endpoints' adjacency. *)
+    downed links are absent from both endpoints' adjacency.
+
+    Snapshots are maintained {e incrementally}: each event marks the
+    adjacency rows it touches (the node's own row and its base
+    neighbors', or a downed link's two endpoints) and {!snapshot} patches
+    only those rows of the previous snapshot, constructing the result
+    through the trusted {!Graph.of_sorted_adjacency} — no re-sorting,
+    no re-validation. The patched snapshot is structurally identical to
+    a full {!materialize} rebuild (same sorted arrays), which a property
+    suite enforces over random event plans. *)
 
 type status =
   | Alive  (** participating normally *)
@@ -73,6 +82,14 @@ val snapshot : t -> Graph.t
 (** The current effective topology as an immutable graph over the same
     node indices. Cached: consecutive calls without intervening events
     return the same physical graph (and the base graph while
-    [pristine]). *)
+    [pristine]). Incremental: only the rows dirtied since the previous
+    snapshot are recomputed — O(sum of touched base degrees), not
+    O(n + m). *)
+
+val materialize : t -> Graph.t
+(** Reference full rebuild of the effective topology through the checked
+    {!Graph.of_adjacency} path, ignoring the snapshot cache. Costs
+    O((n + m) log); exists so tests and benches can cross-check the
+    incremental {!snapshot} against first principles. *)
 
 val pp : t Fmt.t

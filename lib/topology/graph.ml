@@ -109,6 +109,20 @@ let of_edges ?positions ~n edge_list =
   in
   { n; adj; positions }
 
+(* Trusted constructor: the caller certifies the invariants that
+   [of_adjacency] would otherwise re-establish (rows strictly sorted, no
+   self loops, in range, symmetric). Only the positions length — a plain
+   caller mistake rather than a derived invariant — is still checked. The
+   arrays are adopted, not copied: rows may be shared with other graphs
+   (they are immutable by contract). *)
+let of_sorted_adjacency ?positions adj =
+  let n = Array.length adj in
+  (match positions with
+  | Some pos when Array.length pos <> n ->
+      invalid_arg "Graph.of_sorted_adjacency: positions length mismatch"
+  | Some _ | None -> ());
+  { n; adj; positions }
+
 let of_adjacency ?positions adj =
   let n = Array.length adj in
   (match positions with
@@ -160,6 +174,18 @@ let unit_disk ~radius positions =
         Array.of_list (Ss_geom.Grid_index.neighbors index p radius))
   in
   { n; adj; positions = Some positions }
+
+let equal a b =
+  a.n = b.n
+  &&
+  try
+    for p = 0 to a.n - 1 do
+      let ra = a.adj.(p) and rb = b.adj.(p) in
+      if Array.length ra <> Array.length rb then raise Exit;
+      Array.iteri (fun i q -> if rb.(i) <> q then raise Exit) ra
+    done;
+    true
+  with Exit -> false
 
 let is_symmetric t =
   try

@@ -13,6 +13,15 @@ val of_edges : ?positions:Ss_geom.Vec2.t array -> n:int -> (int * int) list -> t
 val of_adjacency : ?positions:Ss_geom.Vec2.t array -> int list array -> t
 (** Build from per-node neighbor lists; must be symmetric. *)
 
+val of_sorted_adjacency : ?positions:Ss_geom.Vec2.t array -> int array array -> t
+(** Trusted constructor for adjacency that is already valid: the caller
+    guarantees every row is strictly increasing, self-loop free, within
+    [0 .. n-1], and symmetric ([q] in row [p] iff [p] in row [q]). Nothing
+    of that is re-checked — this is the churn hot path ({!Dynamic.snapshot}
+    patches rows derived from an already-validated base graph). The arrays
+    are adopted without copying and must never be mutated afterwards; rows
+    may be shared with other graphs. Positions length is still checked. *)
+
 val unit_disk : radius:float -> Ss_geom.Vec2.t array -> t
 (** Unit-disk graph: an edge joins every pair at Euclidean distance
     [<= radius]. Built in expected linear time via a spatial index. This is
@@ -44,6 +53,10 @@ val iter_edges : t -> (int -> int -> unit) -> unit
 (** Each undirected edge visited once, with [p < q]. *)
 
 val edges : t -> (int * int) list
+
+val equal : t -> t -> bool
+(** Structural equality of the topology: same node count and identical
+    adjacency rows. Positions are metadata and not compared. *)
 
 val is_symmetric : t -> bool
 (** Always true for graphs built by this module; exposed for tests. *)

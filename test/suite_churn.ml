@@ -74,6 +74,78 @@ let test_dynamic_snapshot_cached () =
   Alcotest.(check int) "full cycle restored" 6 (Graph.node_count c);
   Alcotest.(check int) "edges restored" 6 (Graph.edge_count c)
 
+let test_dynamic_snapshot_positions_carried () =
+  (* Patched snapshots must keep carrying the base graph's positions. *)
+  let rng = Rng.create ~seed:7 in
+  let graph = Builders.random_geometric_count rng ~count:30 ~radius:0.3 in
+  let dyn = Dynamic.create graph in
+  ignore (Dynamic.crash dyn 3);
+  let snap = Dynamic.snapshot dyn in
+  Alcotest.(check bool) "positions shared with the base" true
+    (Graph.positions snap == Graph.positions graph)
+
+let test_dynamic_back_to_pristine_restores_base () =
+  (* Returning to the pristine state hands back the base graph itself, no
+     matter how the overlay got there. *)
+  let dyn = Dynamic.create (Builders.complete 5) in
+  ignore (Dynamic.link_down dyn 0 1);
+  ignore (Dynamic.crash dyn 2);
+  ignore (Dynamic.snapshot dyn);
+  ignore (Dynamic.link_up dyn 0 1);
+  ignore (Dynamic.join dyn 2);
+  Alcotest.(check bool) "pristine" true (Dynamic.pristine dyn);
+  Alcotest.(check bool) "snapshot is the base graph" true
+    (Dynamic.snapshot dyn == Dynamic.base dyn)
+
+(* The incremental-snapshot acceptance property: over random event plans —
+   crash/join/sleep/wake/link-down/link-up in several bursts with a
+   snapshot taken after each burst, so rows are patched on top of already
+   patched snapshots — the patched snapshot is structurally identical to
+   the reference full rebuild, every time. *)
+let prop_patch_matches_rebuild =
+  QCheck.Test.make ~name:"dynamic: patched snapshot = full rebuild"
+    ~count:1000
+    (QCheck.make
+       ~print:(fun (n, p, seed) ->
+         Printf.sprintf "n=%d p=%.2f seed=%d" n p seed)
+       QCheck.Gen.(
+         triple (int_range 1 40) (float_range 0.0 0.3) (int_range 0 99_999)))
+    (fun (n, p, seed) ->
+      let rng = Rng.create ~seed in
+      let graph = Builders.gnp rng ~n ~p in
+      let dyn = Dynamic.create graph in
+      let edges = Array.of_list (Graph.edges graph) in
+      let random_edge () = edges.(Rng.int rng (Array.length edges)) in
+      let ok = ref true in
+      let bursts = 1 + Rng.int rng 4 in
+      for _ = 1 to bursts do
+        let events = 1 + Rng.int rng 6 in
+        for _ = 1 to events do
+          let v = Rng.int rng n in
+          match Rng.int rng (if Array.length edges = 0 then 4 else 6) with
+          | 0 -> ignore (Dynamic.crash dyn v)
+          | 1 -> ignore (Dynamic.join dyn v)
+          | 2 -> ignore (Dynamic.sleep dyn v)
+          | 3 -> ignore (Dynamic.wake dyn v)
+          | 4 ->
+              let a, b = random_edge () in
+              ignore (Dynamic.link_down dyn a b)
+          | _ ->
+              let a, b = random_edge () in
+              ignore (Dynamic.link_up dyn a b)
+        done;
+        let snap = Dynamic.snapshot dyn in
+        let reference = Dynamic.materialize dyn in
+        ok :=
+          !ok
+          && Graph.equal snap reference
+          && Graph.is_symmetric snap
+          && (not (Dynamic.pristine dyn) || snap == Dynamic.base dyn)
+      done;
+      !ok)
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_patch_matches_rebuild ]
+
 (* ------------------------------------------------------------------ Churn *)
 
 let test_schedule_events_at () =
@@ -447,6 +519,10 @@ let suite =
     Alcotest.test_case "dynamic: link toggling" `Quick test_dynamic_link_toggle;
     Alcotest.test_case "dynamic: snapshot caching" `Quick
       test_dynamic_snapshot_cached;
+    Alcotest.test_case "dynamic: snapshot carries positions" `Quick
+      test_dynamic_snapshot_positions_carried;
+    Alcotest.test_case "dynamic: back to pristine restores base" `Quick
+      test_dynamic_back_to_pristine_restores_base;
     Alcotest.test_case "churn: schedule emits at rounds" `Quick
       test_schedule_events_at;
     Alcotest.test_case "churn: horizons" `Quick test_horizon;
@@ -484,3 +560,4 @@ let suite =
     Alcotest.test_case "exp_churn: finite recovery everywhere" `Slow
       test_exp_churn_small;
   ]
+  @ qcheck_cases

@@ -182,8 +182,8 @@ let test_channel_perfect () =
   let g = Builders.path 2 in
   let r = rng () in
   for _ = 1 to 100 do
-    Alcotest.(check bool) "always delivers" true
-      (Channel.delivers Channel.perfect r ~graph:g ~src:0 ~dst:1)
+    let plan = Channel.round_plan Channel.perfect r ~graph:g in
+    Alcotest.(check bool) "always delivers" true (plan ~src:0 ~dst:1)
   done
 
 let test_channel_bernoulli_rate () =
@@ -193,7 +193,8 @@ let test_channel_bernoulli_rate () =
   let hits = ref 0 in
   let draws = 20_000 in
   for _ = 1 to draws do
-    if Channel.delivers channel r ~graph:g ~src:0 ~dst:1 then incr hits
+    let plan = Channel.round_plan channel r ~graph:g in
+    if plan ~src:0 ~dst:1 then incr hits
   done;
   let rate = float_of_int !hits /. float_of_int draws in
   Alcotest.(check bool) "near tau" true (Float.abs (rate -. 0.7) < 0.02);
@@ -311,10 +312,9 @@ let test_channel_jammed () =
   in
   let channel = Channel.jammed ~tau:1.0 ~region ~jam_tau:0.0 in
   let r = rng () in
-  Alcotest.(check bool) "outside region receives" true
-    (Channel.delivers channel r ~graph:g ~src:1 ~dst:0);
-  Alcotest.(check bool) "inside region jammed" false
-    (Channel.delivers channel r ~graph:g ~src:0 ~dst:1)
+  let plan = Channel.round_plan channel r ~graph:g in
+  Alcotest.(check bool) "outside region receives" true (plan ~src:1 ~dst:0);
+  Alcotest.(check bool) "inside region jammed" false (plan ~src:0 ~dst:1)
 
 let suite =
   [

@@ -111,6 +111,30 @@ let test_grid_index_outliers () =
   Alcotest.(check (list int)) "outlier pair found" [ 1 ]
     (Grid_index.neighbors index 0 0.1)
 
+let test_grid_index_clamping_matches_brute_force () =
+  (* Points scattered well beyond the bbox on every side are clamped into
+     border cells; radius queries — from centers inside, outside, and far
+     outside the box — must still agree exactly with brute force. *)
+  let rng = Rng.create ~seed:12 in
+  let wild = Bbox.make ~min_x:(-1.0) ~min_y:(-1.0) ~max_x:2.0 ~max_y:2.0 in
+  let points = Array.init 300 (fun _ -> Bbox.sample rng wild) in
+  let index = Grid_index.build ~box:Bbox.unit_square ~cell:0.1 points in
+  let centers =
+    [ Vec2.v 0.5 0.5; Vec2.v (-0.8) 0.2; Vec2.v 1.9 1.9; Vec2.v 0.02 (-0.7);
+      Vec2.v (-5.0) 0.5 ]
+  in
+  List.iter
+    (fun center ->
+      List.iter
+        (fun radius ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "query (%.2f,%.2f) r=%.2f" center.Vec2.x
+               center.Vec2.y radius)
+            (brute_force_within points center radius)
+            (Grid_index.within index center radius))
+        [ 0.05; 0.1; 0.35 ])
+    centers
+
 let test_grid_index_zero_radius () =
   let points = [| Vec2.v 0.5 0.5; Vec2.v 0.5 0.5; Vec2.v 0.6 0.5 |] in
   let index = Grid_index.build ~box:Bbox.unit_square ~cell:0.1 points in
@@ -204,6 +228,8 @@ let suite =
       test_grid_index_neighbors_excludes_self;
     Alcotest.test_case "grid index clamps outliers" `Quick
       test_grid_index_outliers;
+    Alcotest.test_case "grid index clamping vs brute force" `Quick
+      test_grid_index_clamping_matches_brute_force;
     Alcotest.test_case "grid index zero radius" `Quick
       test_grid_index_zero_radius;
     Alcotest.test_case "poisson process count" `Slow test_poisson_count;

@@ -92,10 +92,65 @@ let test_table_csv_escaping () =
   Alcotest.(check string) "escaped" "a\n\"has,comma \"\"and quotes\"\"\"\n"
     (Table.to_csv t)
 
+let test_table_csv_newline_quoting () =
+  let t = Table.create ~title:"T" ~header:[ "a"; "b" ] () in
+  let t = Table.add_row t [ "line1\nline2"; "plain" ] in
+  Alcotest.(check string) "newline quoted" "a,b\n\"line1\nline2\",plain\n"
+    (Table.to_csv t);
+  let t = Table.create ~title:"T" ~header:[ "a" ] () in
+  let t = Table.add_row t [ "," ] in
+  let t = Table.add_row t [ "\"" ] in
+  let t = Table.add_row t [ "safe" ] in
+  Alcotest.(check string) "comma and lone quote" "a\n\",\"\n\"\"\"\"\nsafe\n"
+    (Table.to_csv t)
+
+let test_table_row_order_preserved () =
+  (* Rows are stored newest-first internally; render and to_csv must still
+     report insertion order. *)
+  let t =
+    List.fold_left
+      (fun t i -> Table.add_row t [ Printf.sprintf "r%03d" i ])
+      (Table.create ~title:"T" ~header:[ "row" ] ())
+      (List.init 100 Fun.id)
+  in
+  let expected =
+    "row\n" ^ String.concat "\n" (List.init 100 (Printf.sprintf "r%03d")) ^ "\n"
+  in
+  Alcotest.(check string) "csv in insertion order" expected (Table.to_csv t);
+  let rendered = String.split_on_char '\n' (Table.render t) in
+  Alcotest.(check string) "first data row" "| r000 |" (List.nth rendered 4);
+  Alcotest.(check string) "last data row" "| r099 |" (List.nth rendered 103)
+
 let test_cell_formatting () =
   Alcotest.(check string) "float" "3.14" (Table.cell_float ~decimals:2 3.14159);
   Alcotest.(check string) "nan" "-" (Table.cell_float Float.nan);
   Alcotest.(check string) "int" "7" (Table.cell_int 7)
+
+(* Merge must agree with streaming the concatenation, including when one
+   or both sides are empty (nan statistics on the empty side). *)
+let prop_merge_equals_of_list =
+  let close a b =
+    (Float.is_nan a && Float.is_nan b)
+    || Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs a +. Float.abs b)
+  in
+  QCheck.Test.make ~name:"Summary.merge = of_list on concatenation" ~count:500
+    (QCheck.make
+       ~print:(fun (xs, ys) ->
+         Printf.sprintf "|xs|=%d |ys|=%d" (List.length xs) (List.length ys))
+       QCheck.Gen.(
+         pair
+           (list_size (int_bound 50) (float_range (-1e6) 1e6))
+           (list_size (int_bound 50) (float_range (-1e6) 1e6))))
+    (fun (xs, ys) ->
+      let merged = Summary.merge (Summary.of_list xs) (Summary.of_list ys) in
+      let pooled = Summary.of_list (xs @ ys) in
+      Summary.count merged = Summary.count pooled
+      && close (Summary.mean merged) (Summary.mean pooled)
+      && close (Summary.variance merged) (Summary.variance pooled)
+      && close (Summary.minimum merged) (Summary.minimum pooled)
+      && close (Summary.maximum merged) (Summary.maximum pooled))
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_merge_equals_of_list ]
 
 let suite =
   [
@@ -110,5 +165,10 @@ let suite =
     Alcotest.test_case "table arity check" `Quick test_table_cell_mismatch;
     Alcotest.test_case "table to CSV" `Quick test_table_csv;
     Alcotest.test_case "CSV escaping" `Quick test_table_csv_escaping;
+    Alcotest.test_case "CSV newline and quote escaping" `Quick
+      test_table_csv_newline_quoting;
+    Alcotest.test_case "row order preserved" `Quick
+      test_table_row_order_preserved;
     Alcotest.test_case "cell formatting" `Quick test_cell_formatting;
   ]
+  @ qcheck_cases
