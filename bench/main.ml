@@ -145,6 +145,42 @@ let selfstab =
            (Bench_engine.run ~states:first.Bench_engine.states ~quiet_rounds:5
               rng graph)))
 
+(* Monitor overhead: the same engine run bare vs with the invariant
+   monitor probing every round — the delta is the per-round cost of the
+   online safety checks. *)
+let monitor_fixture =
+  lazy
+    (let rng = fixture_rng () in
+     let graph = Builders.random_geometric rng ~intensity:120.0 ~radius:0.12 in
+     let ids = Array.init (Graph.node_count graph) Fun.id in
+     (graph, ids))
+
+let monitor_bare =
+  Test.make ~name:"monitor/bare-run"
+    (stage (fun () ->
+         let graph, _ = Lazy.force monitor_fixture in
+         let rng = fixture_rng () in
+         ignore (Bench_engine.run ~quiet_rounds:5 ~max_rounds:500 rng graph)))
+
+let monitor_monitored =
+  Test.make ~name:"monitor/monitored-run"
+    (stage (fun () ->
+         let graph, ids = Lazy.force monitor_fixture in
+         let rng = fixture_rng () in
+         let mon =
+           Cluster.Invariants.monitor ~config:Cluster.Config.basic ~ids ()
+         in
+         let result =
+           Bench_engine.run ~quiet_rounds:5 ~max_rounds:500
+             ~on_round:(Ss_engine.Monitor.on_round mon)
+             ~probe:(fun ~round ~graph ~alive states ->
+               Ss_engine.Monitor.probe mon ~round ~graph ~alive states)
+             rng graph
+         in
+         ignore
+           (Ss_engine.Monitor.report mon
+              ~converged:result.Bench_engine.converged)))
+
 (* ------------------------------------------------------------------ *)
 (* Ablations.                                                          *)
 
@@ -270,6 +306,7 @@ let tests =
   Test.make_grouped ~name:"selfstab"
     ([
        table1; table2; table3; table4; table5; fig2; fig3; mobility; selfstab;
+       monitor_bare; monitor_monitored;
        ext_energy; ext_hierarchy; ext_bounds;
        micro_unit_disk; micro_unit_disk_naive; micro_density; micro_bfs;
      ]

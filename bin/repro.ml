@@ -241,6 +241,49 @@ let churn_cmd =
       const run $ seed_arg $ runs_arg 5 $ jobs_arg $ churn_intensity_arg
       $ csv_arg)
 
+let campaign_cmd =
+  let doc =
+    "Robustness: adversarial fault-campaign sweep over (corruption fraction \
+     x channel x crash churn x scheduler), with the online invariant \
+     monitor classifying every non-converged run and per-run replay \
+     pointers for anomalies."
+  in
+  let smoke_arg =
+    let doc =
+      "Tiny fixed-seed grid (4 cells, 1 run each) exercising the monitor \
+       path in seconds; used by CI."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let run seed runs jobs smoke csv =
+    let grid, spec, runs, max_rounds =
+      if smoke then
+        ( E.Exp_campaign.smoke_grid,
+          E.Scenario.uniform ~count:30 ~radius:0.2 (),
+          1,
+          800 )
+      else (E.Exp_campaign.default_grid, E.Exp_campaign.default_spec, runs, 1_500)
+    in
+    let rows =
+      E.Exp_campaign.run ~seed ~runs ~domains:jobs ~spec ~grid ~max_rounds ()
+    in
+    output ~csv (E.Exp_campaign.to_table rows);
+    if not csv then begin
+      let worst =
+        List.fold_left
+          (fun acc r -> max acc r.E.Exp_campaign.max_dwell)
+          0 rows
+      in
+      let anomalous =
+        List.length (List.filter (fun r -> r.E.Exp_campaign.bad <> []) rows)
+      in
+      Fmt.pr "worst violation dwell: %d rounds; cells with anomalies: %d/%d@."
+        worst anomalous (List.length rows)
+    end
+  in
+  Cmd.v (Cmd.info "campaign" ~doc)
+    Term.(const run $ seed_arg $ runs_arg 4 $ jobs_arg $ smoke_arg $ csv_arg)
+
 let all_cmd =
   let doc = "Run every experiment with fast defaults." in
   let run seed jobs =
@@ -296,7 +339,7 @@ let main_cmd =
     [
       table1_cmd; table2_cmd; table3_cmd; table4_cmd; table5_cmd;
       figures_cmd; mobility_cmd; selfstab_cmd; compare_cmd; energy_cmd;
-      hierarchy_cmd; bounds_cmd; links_cmd; churn_cmd; all_cmd;
+      hierarchy_cmd; bounds_cmd; links_cmd; churn_cmd; campaign_cmd; all_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -37,13 +37,19 @@ let clusters t = List.map (fun h -> (h, members t h)) (heads t)
 
 (* Length of the parent chain from p to its first repeated node; the chain
    is the clusterization tree path the paper measures ("tree length").
-   Bounded walk so a malformed assignment (cycle) cannot loop forever. *)
+   Bounded walk so a malformed assignment (cycle) cannot loop forever, and
+   range-checked so a corrupted one (parent outside the id space — exactly
+   the transient faults the legitimacy predicate must judge) reads as a
+   broken chain instead of an array crash. *)
 let tree_depth t p =
   let n = size t in
   let rec walk node depth =
     if depth > n then None
-    else if t.parent.(node) = node then Some depth
-    else walk t.parent.(node) (depth + 1)
+    else
+      let f = t.parent.(node) in
+      if f = node then Some depth
+      else if f < 0 || f >= n then None
+      else walk f (depth + 1)
   in
   walk p 0
 
@@ -68,19 +74,21 @@ let validate graph t =
   if size t <> Graph.node_count graph then
     Error [ Stranded_member (-1) ]
   else begin
+    let n = size t in
     let problems = ref [] in
-    for p = size t - 1 downto 0 do
+    for p = n - 1 downto 0 do
       let f = t.parent.(p) in
-      if f <> p && not (Graph.mem_edge graph p f) then
+      if f <> p && (f < 0 || f >= n || not (Graph.mem_edge graph p f)) then
         problems := Parent_not_neighbor p :: !problems;
       (match tree_depth t p with
       | None -> problems := Parent_cycle p :: !problems
       | Some _ ->
+          (* tree_depth succeeded, so the chain stays in range. *)
           let rec root node fuel =
             if t.parent.(node) = node || fuel = 0 then node
             else root t.parent.(node) (fuel - 1)
           in
-          if root p (size t) <> t.head.(p) then
+          if root p n <> t.head.(p) then
             problems := Head_mismatch p :: !problems)
     done;
     match !problems with [] -> Ok () | ps -> Error ps

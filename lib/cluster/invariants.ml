@@ -1,0 +1,71 @@
+module Graph = Ss_topology.Graph
+module Monitor = Ss_engine.Monitor
+
+(* SplitMix64's finalizer: full-avalanche 64-bit mixing, so single-field
+   differences between states flip about half the digest bits. The stdlib
+   generic hash is banned here (see ./check): it traverses only a bounded
+   prefix of each state. *)
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let feed h v = mix64 (Int64.add (Int64.logxor h v) 0x9e3779b97f4a7c15L)
+
+let feed_int h i = feed h (Int64.of_int i)
+
+let feed_opt h = function None -> feed_int h (-1) | Some v -> feed_int h v
+
+let digest ~graph:_ ~alive (states : Distributed.state array) =
+  let h = ref (Int64.of_int (Array.length states)) in
+  Array.iteri
+    (fun p (st : Distributed.state) ->
+      h := feed_int !h (if alive.(p) then 1 else 0);
+      if alive.(p) then begin
+        h := feed_int !h st.gid;
+        h := feed_int !h st.dag;
+        (match st.density with
+        | None -> h := feed_int !h (-1)
+        | Some d ->
+            h := feed_int !h (Density.links d);
+            h := feed_int !h (Density.nodes d));
+        h := feed_opt !h st.parent;
+        h := feed_opt !h st.head
+      end)
+    states;
+  !h
+
+let violations ~config ~ids ~graph ~alive states =
+  let assignment = Distributed.to_assignment ~alive states in
+  let dag_names =
+    if config.Config.use_dag_names then
+      Some (Array.map (fun (st : Distributed.state) -> st.dag) states)
+    else None
+  in
+  let illegitimate =
+    match Legitimacy.check ?dag_names config graph ~ids assignment with
+    | Ok () -> 0
+    | Error vs -> List.length vs
+  in
+  let ghosts = Distributed.ghost_references ~alive states in
+  let base = [ ("illegitimate", illegitimate); ("ghosts", ghosts) ] in
+  if not config.Config.fusion then base
+  else
+    let close_heads =
+      match Metrics.min_head_separation graph assignment with
+      | Some d when d < 3 -> 1
+      | Some _ | None -> 0
+    in
+    base @ [ ("head-separation", close_heads) ]
+
+let monitor ?window ~config ~ids () =
+  Monitor.create ?window ~digest
+    ~invariants:(fun ~graph ~alive states ->
+      violations ~config ~ids ~graph ~alive states)
+    ()

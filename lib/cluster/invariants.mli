@@ -1,0 +1,45 @@
+(** The paper's safety predicates bundled for online monitoring.
+
+    Everything {!Ss_engine.Monitor} needs to watch a {!Distributed} run:
+    a digest of the protocol {e outputs} (stable across rounds once the
+    clustering has stabilized, so oscillations are visible) and the
+    violation set of the legitimate-state predicate, evaluated per round on
+    the live nodes. *)
+
+val digest :
+  graph:Ss_topology.Graph.t ->
+  alive:bool array ->
+  Distributed.state array ->
+  int64
+(** Order-sensitive 64-bit hash of each node's liveness bit and, for alive
+    nodes, its outputs: gid, DAG name, density, parent, head. Deliberately
+    excludes clocks, caches and relay tables — those churn every round by
+    design and would hide any oscillation. Explicit SplitMix64-style
+    mixing, not the stdlib generic hash (whose traversal cutoffs make
+    structurally different states collide trivially). *)
+
+val violations :
+  config:Config.t ->
+  ids:int array ->
+  graph:Ss_topology.Graph.t ->
+  alive:bool array ->
+  Distributed.state array ->
+  (string * int) list
+(** Labelled violation counts for one round, empty/zero when the projected
+    assignment is legitimate:
+    - ["illegitimate"]: number of {!Legitimacy.check} violations (fixpoint
+      and structural) of the assignment projected from the live states onto
+      [graph] — pass the engine's per-round snapshot;
+    - ["ghosts"]: {!Distributed.ghost_references} held by alive nodes;
+    - ["head-separation"]: 1 when [config.fusion] is on and two heads sit
+      closer than 3 hops ({!Metrics.min_head_separation}); omitted for
+      fusion-free configurations, where 1-hop head adjacency is legal. *)
+
+val monitor :
+  ?window:int ->
+  config:Config.t ->
+  ids:int array ->
+  unit ->
+  Distributed.state Ss_engine.Monitor.t
+(** A ready-made monitor over {!digest} and {!violations}: wire its
+    [Monitor.probe] and [Monitor.on_round] into [Engine.run]. *)

@@ -3,9 +3,14 @@ module Dynamic = Ss_topology.Dynamic
 module Channel = Ss_radio.Channel
 module Rng = Ss_prng.Rng
 
-type fault_report = { corrupted : int list }
+type fault_report = { fault_round : int; corrupted : int list }
 
-type round_info = { round : int; changed : int; events : int }
+type round_info = {
+  round : int;
+  changed : int;
+  events : int;
+  corrupted : int list;
+}
 
 type burst = {
   burst_start : int;
@@ -62,6 +67,7 @@ module Make (P : Protocol.S) = struct
     alive : bool array;
     graph : Graph.t;
     bursts : burst list;
+    faults : fault_report list; (* rounds with corrupted nodes, oldest first *)
   }
 
   let gather_messages deliver graph states p =
@@ -162,8 +168,10 @@ module Make (P : Protocol.S) = struct
     let last_change = ref 0 in
     let history = ref [] in
     let event_rounds = ref [] in
+    let faults = ref [] in
     while (!quiet < quiet_rounds || !round < horizon) && !round < max_rounds do
       incr round;
+      let churn_corrupted = ref [] in
       let applied =
         match churn with
         | None -> 0
@@ -171,6 +179,9 @@ module Make (P : Protocol.S) = struct
             List.fold_left
               (fun acc ev ->
                 if apply_event dyn states corrupt rng ev then begin
+                  (match ev with
+                  | Churn.Corrupt p -> churn_corrupted := p :: !churn_corrupted
+                  | _ -> ());
                   (match on_event with
                   | None -> ()
                   | Some f -> f ~round:!round ev);
@@ -180,17 +191,24 @@ module Make (P : Protocol.S) = struct
               0
               (Churn.events_at plan ~round:!round dyn rng)
       in
-      if applied > 0 then begin
-        event_rounds := (!round, applied) :: !event_rounds;
+      if applied > 0 then
         for p = 0 to Array.length live - 1 do
           live.(p) <- Dynamic.status dyn p = Dynamic.Alive
-        done
-      end;
-      let faulted =
+        done;
+      let victims =
         match fault with
-        | None -> false
+        | None -> []
         | Some inject -> inject ~round:!round ~states rng
       in
+      (* Every corrupted node this round: churn [Corrupt] events in plan
+         order, then the fault hook's victims. A fault round counts as a
+         disturbance for burst/recovery attribution even without churn. *)
+      let corrupted = List.rev !churn_corrupted @ victims in
+      let disturbance = applied + List.length victims in
+      if disturbance > 0 then
+        event_rounds := (!round, disturbance) :: !event_rounds;
+      if corrupted <> [] then
+        faults := { fault_round = !round; corrupted } :: !faults;
       (* Incremental: on event-free rounds this returns the cached graph;
          after a burst it patches only the rows the events touched. *)
       let g = Dynamic.snapshot dyn in
@@ -198,11 +216,11 @@ module Make (P : Protocol.S) = struct
       history := changed :: !history;
       (match on_round with
       | None -> ()
-      | Some f -> f { round = !round; changed; events = applied });
+      | Some f -> f { round = !round; changed; events = applied; corrupted });
       (match probe with
       | None -> ()
-      | Some f -> f ~round:!round ~alive:live states);
-      if changed > 0 || faulted || applied > 0 then begin
+      | Some f -> f ~round:!round ~graph:g ~alive:live states);
+      if changed > 0 || victims <> [] || applied > 0 then begin
         quiet := 0;
         last_change := !round
       end
@@ -221,5 +239,6 @@ module Make (P : Protocol.S) = struct
         finalize_bursts
           ~event_rounds:(List.rev !event_rounds)
           ~history:(List.rev !history) ~rounds:!round ~converged;
+      faults = List.rev !faults;
     }
   end

@@ -11,9 +11,16 @@ type round_info = {
   round : int;
   changed : int;
   events : int;  (** churn events applied before this round's communication *)
+  corrupted : int list;
+      (** nodes whose state was rewritten before this round's communication:
+          churn [Corrupt] victims in plan order, then the [?fault] hook's
+          victims; [] on clean rounds *)
 }
 
-type fault_report = { corrupted : int list }
+type fault_report = {
+  fault_round : int;  (** round the corruption landed on *)
+  corrupted : int list;  (** same contents as {!round_info.corrupted} *)
+}
 
 type burst = {
   burst_start : int;  (** first round of a maximal run of event rounds *)
@@ -45,8 +52,12 @@ module Make (P : Protocol.S) : sig
         (** final effective topology (= the input graph when no churn
             event ever fired) *)
     bursts : burst list;
-        (** event bursts applied by the churn plan, oldest first, with
-            measured recovery times *)
+        (** disturbance bursts (churn events and fault-hook rounds), oldest
+            first, with measured recovery times *)
+    faults : fault_report list;
+        (** every round on which at least one node was corrupted (by churn
+            [Corrupt] or the [?fault] hook), oldest first — the dwell-time
+            attribution feed for {!Monitor} *)
   }
 
   val init_states :
@@ -58,12 +69,17 @@ module Make (P : Protocol.S) : sig
     ?channel:Ss_radio.Channel.t ->
     ?max_rounds:int ->
     ?quiet_rounds:int ->
-    ?fault:(round:int -> states:P.state array -> Ss_prng.Rng.t -> bool) ->
+    ?fault:(round:int -> states:P.state array -> Ss_prng.Rng.t -> int list) ->
     ?churn:Churn.t ->
     ?corrupt:(Ss_prng.Rng.t -> int -> P.state -> P.state) ->
     ?on_round:(round_info -> unit) ->
     ?on_event:(round:int -> Churn.event -> unit) ->
-    ?probe:(round:int -> alive:bool array -> P.state array -> unit) ->
+    ?probe:
+      (round:int ->
+      graph:Ss_topology.Graph.t ->
+      alive:bool array ->
+      P.state array ->
+      unit) ->
     ?states:P.state array ->
     Ss_prng.Rng.t ->
     Ss_topology.Graph.t ->
@@ -80,18 +96,22 @@ module Make (P : Protocol.S) : sig
       retained state, link events retopologize; [Corrupt] rewrites the
       node's state through [corrupt] — supplying a plan that emits
       [Corrupt] without [corrupt] raises [Invalid_argument]); then [fault]
-      runs (it may mutate the state array in place and must return whether
-      it did); then every {e alive} node broadcasts once over the current
-      snapshot and handles what it heard. Crashed and sleeping nodes
-      neither emit nor handle, and their frames vanish from neighbors'
-      caches — recovery is the protocol's job.
+      runs (it may mutate the state array in place and must return the list
+      of nodes it corrupted, [] when it did nothing); then every {e alive}
+      node broadcasts once over the current snapshot and handles what it
+      heard. Crashed and sleeping nodes neither emit nor handle, and their
+      frames vanish from neighbors' caches — recovery is the protocol's
+      job. Rounds on which the fault hook corrupts anything count as
+      disturbance rounds for burst/recovery attribution, exactly like churn
+      event rounds.
 
       [on_event] fires once per applied event (no-ops — crashing a dead
       node, downing a downed link — are skipped and not counted);
-      [on_round] fires after each round; [probe] additionally sees the
-      liveness mask and live states (both read-only) for mid-run
-      instrumentation such as ghost-reference counting. [states]
-      warm-starts from a previous run.
+      [on_round] fires after each round and reports the corrupted nodes;
+      [probe] additionally sees the round's effective topology snapshot,
+      the liveness mask and live states (all read-only) for mid-run
+      instrumentation such as invariant monitoring. [states] warm-starts
+      from a previous run.
 
       Defaults: synchronous scheduler, perfect channel, 10000 rounds max,
       one quiet round, no churn. *)

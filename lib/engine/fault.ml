@@ -20,19 +20,21 @@ let at_round ~round ~count ~corrupt = make ~schedule:[ (round, count) ] ~corrupt
 
 let inject t ~round ~states rng =
   match List.assoc_opt round t.schedule with
-  | None -> false
+  | None -> []
   | Some count ->
       let n = Array.length states in
       let count = min count n in
-      if count = 0 then false
+      if count = 0 then []
       else begin
         (* Corrupt a uniform sample of distinct nodes. *)
         let victims = Ss_prng.Rng.permutation rng n in
+        let hit = ref [] in
         for i = 0 to count - 1 do
           let p = victims.(i) in
-          states.(p) <- t.corrupt rng p states.(p)
+          states.(p) <- t.corrupt rng p states.(p);
+          hit := p :: !hit
         done;
-        true
+        List.rev !hit
       end
 
 let hook t = fun ~round ~states rng -> inject t ~round ~states rng

@@ -21,12 +21,12 @@ val at_round :
 (** Single burst of corruption. *)
 
 val inject :
-  'state t -> round:int -> states:'state array -> Ss_prng.Rng.t -> bool
-(** Apply the plan for this round (mutates [states]); returns whether any
-    state was corrupted. *)
+  'state t -> round:int -> states:'state array -> Ss_prng.Rng.t -> int list
+(** Apply the plan for this round (mutates [states]); returns the corrupted
+    nodes in the order they were drawn, [] on fault-free rounds. *)
 
 val hook :
-  'state t -> round:int -> states:'state array -> Ss_prng.Rng.t -> bool
+  'state t -> round:int -> states:'state array -> Ss_prng.Rng.t -> int list
 (** The plan as an [Engine.run ~fault] argument. *)
 
 val to_churn :

@@ -1,0 +1,175 @@
+module Graph = Ss_topology.Graph
+module Ring = Ss_stats.Ring
+
+type classification =
+  | Converged
+  | Oscillating of { period : int; first_seen : int }
+  | Still_changing
+
+type burst = { first : int; last : int; dwell : int option }
+
+type report = {
+  classification : classification;
+  rounds : int;
+  violating_rounds : int;
+  totals : (string * int) list;
+  peaks : (string * int) list;
+  bursts : burst list;
+  max_dwell : int option;
+  unrecovered : int;
+  post_recovery_violations : int;
+}
+
+type 'state t = {
+  digest_fn :
+    graph:Graph.t -> alive:bool array -> 'state array -> int64;
+  invariants_fn :
+    graph:Graph.t -> alive:bool array -> 'state array -> (string * int) list;
+  ring : int64 Ring.t;
+  mutable last_round : int;
+  mutable rounds : int;
+  mutable violating_rounds : int;
+  (* first-seen order; refs hold (violating-round count, peak count) *)
+  mutable tallies : (string * (int ref * int ref)) list;
+  (* the single open burst: disturbances while dirty merge into it *)
+  mutable open_burst : (int * int) option; (* first, last disturbance round *)
+  mutable closed : burst list; (* newest first *)
+  mutable recovered_once : bool;
+  mutable post_violations : int;
+}
+
+let create ?(window = 64) ~digest ~invariants () =
+  if window < 2 then invalid_arg "Monitor.create: window must be >= 2";
+  {
+    digest_fn = digest;
+    invariants_fn = invariants;
+    ring = Ring.create ~capacity:window;
+    last_round = 0;
+    rounds = 0;
+    violating_rounds = 0;
+    tallies = [];
+    open_burst = None;
+    closed = [];
+    recovered_once = false;
+    post_violations = 0;
+  }
+
+let note_disturbance t ~round =
+  match t.open_burst with
+  | None -> t.open_burst <- Some (round, round)
+  | Some (first, last) -> t.open_burst <- Some (first, max last round)
+
+let on_round t (info : Engine.round_info) =
+  if info.events > 0 || info.corrupted <> [] then
+    note_disturbance t ~round:info.round
+
+let bump t label count =
+  let rounds, peak =
+    match List.assoc_opt label t.tallies with
+    | Some cell -> cell
+    | None ->
+        let cell = (ref 0, ref 0) in
+        t.tallies <- t.tallies @ [ (label, cell) ];
+        cell
+  in
+  incr rounds;
+  if count > !peak then peak := count
+
+let probe t ~round ~graph ~alive states =
+  t.rounds <- t.rounds + 1;
+  t.last_round <- round;
+  Ring.push t.ring (t.digest_fn ~graph ~alive states);
+  let violations =
+    List.filter (fun (_, c) -> c > 0) (t.invariants_fn ~graph ~alive states)
+  in
+  if violations = [] then begin
+    (match t.open_burst with
+    | Some (first, last) when round >= last ->
+        (* First clean probe at or after the last disturbance: the burst
+           closes; dwell 0 when the disturbance round itself probes clean. *)
+        t.closed <- { first; last; dwell = Some (round - last) } :: t.closed;
+        t.open_burst <- None;
+        t.recovered_once <- true
+    | Some _ | None -> ())
+  end
+  else begin
+    t.violating_rounds <- t.violating_rounds + 1;
+    List.iter (fun (label, count) -> bump t label count) violations;
+    (* Violations outside any burst: cold-start convergence is charged to no
+       one, but once a burst has closed the predicate must hold forever —
+       anything after is a closure failure. *)
+    if t.open_burst = None && t.recovered_once then
+      t.post_violations <- t.post_violations + 1
+  end
+
+let classify ~converged ~last_round digests =
+  if converged then Converged
+  else
+    let n = Array.length digests in
+    if n < 2 then Still_changing
+    else begin
+      let result = ref Still_changing in
+      (try
+         for p = 1 to n / 2 do
+           let tail_periodic = ref true in
+           for i = 0 to p - 1 do
+             if not (Int64.equal digests.(n - 1 - i) digests.(n - 1 - p - i))
+             then tail_periodic := false
+           done;
+           if !tail_periodic then begin
+             (* Smallest period found; extend the periodic tail backwards to
+                date the onset (bounded by the window). *)
+             let s = ref (n - p) in
+             while !s > 0 && Int64.equal digests.(!s - 1) digests.(!s - 1 + p)
+             do
+               decr s
+             done;
+             let first_seen = last_round - (n - 1) + !s in
+             result := Oscillating { period = p; first_seen };
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !result
+    end
+
+let report t ~converged =
+  let bursts =
+    List.rev
+      (match t.open_burst with
+      | None -> t.closed
+      | Some (first, last) -> { first; last; dwell = None } :: t.closed)
+  in
+  let max_dwell =
+    List.fold_left
+      (fun acc b ->
+        match (b.dwell, acc) with
+        | Some d, Some m -> Some (max d m)
+        | Some d, None -> Some d
+        | None, _ -> acc)
+      None bursts
+  in
+  {
+    classification =
+      classify ~converged ~last_round:t.last_round (Ring.to_array t.ring);
+    rounds = t.rounds;
+    violating_rounds = t.violating_rounds;
+    totals = List.map (fun (l, (r, _)) -> (l, !r)) t.tallies;
+    peaks = List.map (fun (l, (_, p)) -> (l, !p)) t.tallies;
+    bursts;
+    max_dwell;
+    unrecovered = (match t.open_burst with None -> 0 | Some _ -> 1);
+    post_recovery_violations = t.post_violations;
+  }
+
+let classification_label = function
+  | Converged -> "converged"
+  | Oscillating { period; _ } -> Printf.sprintf "oscillating(p=%d)" period
+  | Still_changing -> "still-changing"
+
+let pp_classification fmt = function
+  | Converged -> Format.pp_print_string fmt "converged"
+  | Oscillating { period; first_seen } ->
+      Format.fprintf fmt "oscillating(period=%d, first_seen=%d)" period
+        first_seen
+  | Still_changing -> Format.pp_print_string fmt "still-changing"

@@ -1,0 +1,292 @@
+(* Robustness experiment C2: adversarial fault-campaign sweep.
+
+   Each grid cell corrupts a fraction of the nodes mid-run (optionally
+   while a Bernoulli crash window churns the topology) over a lossy or
+   contended channel, with the online monitor watching the legitimacy
+   predicate, ghost references and head separation every round. A cell is
+   judged on the worst it produced: the longest violation dwell, any burst
+   still dirty at the end, any violation after recovery, and — when the
+   round budget ran out — whether the digest ring shows an oscillation or
+   genuine ongoing progress.
+
+   Failure containment: the per-run closure catches exceptions, so one
+   pathological run becomes a failed entry in its row (with its run index
+   as replay pointer) instead of tearing down the campaign through the
+   domain pool's re-raise. *)
+
+module Graph = Ss_topology.Graph
+module Scheduler = Ss_engine.Scheduler
+module Churn = Ss_engine.Churn
+module Monitor = Ss_engine.Monitor
+module Channel = Ss_radio.Channel
+module Distributed = Ss_cluster.Distributed
+module Invariants = Ss_cluster.Invariants
+module Summary = Ss_stats.Summary
+module Table = Ss_stats.Table
+
+module P = Distributed.Make (struct
+  let params = Distributed.default_params
+end)
+
+module E = Ss_engine.Engine.Make (P)
+
+let config = Distributed.default_params.Distributed.algo
+
+let quiet_rounds = Distributed.default_params.Distributed.cache_ttl + 2
+
+type cell = {
+  c_fraction : float;
+  c_channel : Channel.t;
+  c_crash : float;
+  c_scheduler : Scheduler.t;
+}
+
+let cell_label c =
+  [
+    Printf.sprintf "%.0f%%" (100.0 *. c.c_fraction);
+    Fmt.str "%a" Channel.pp c.c_channel;
+    (if c.c_crash > 0.0 then Printf.sprintf "%.2f" c.c_crash else "-");
+    Fmt.str "%a" Scheduler.pp c.c_scheduler;
+  ]
+
+type grid = {
+  g_fractions : float list;
+  g_channels : Channel.t list;
+  g_crash : float list;
+  g_schedulers : Scheduler.t list;
+}
+
+let default_grid =
+  {
+    g_fractions = [ 0.1; 0.3 ];
+    g_channels =
+      [ Channel.perfect; Channel.bernoulli 0.8; Channel.slotted ~slots:16 ];
+    g_crash = [ 0.0; 0.02 ];
+    g_schedulers = [ Scheduler.Synchronous; Scheduler.Random_order ];
+  }
+
+(* Four cells, one run each: every monitor code path (lossy recovery,
+   contention, churn) exercised in seconds for CI. *)
+let smoke_grid =
+  {
+    g_fractions = [ 0.25 ];
+    g_channels = [ Channel.perfect; Channel.slotted ~slots:12 ];
+    g_crash = [ 0.0; 0.05 ];
+    g_schedulers = [ Scheduler.Synchronous ];
+  }
+
+let cells grid =
+  List.concat_map
+    (fun f ->
+      List.concat_map
+        (fun ch ->
+          List.concat_map
+            (fun cr ->
+              List.map
+                (fun s ->
+                  {
+                    c_fraction = f;
+                    c_channel = ch;
+                    c_crash = cr;
+                    c_scheduler = s;
+                  })
+                grid.g_schedulers)
+            grid.g_crash)
+        grid.g_channels)
+    grid.g_fractions
+
+type row = {
+  cell : cell;
+  runs : int;
+  converged : int;
+  oscillating : int;
+  still_changing : int;
+  failed : int;
+  dwell : Summary.t;
+  max_dwell : int;
+  unrecovered : int;
+  post_violations : int;
+  peak_ghosts : int;
+  bad : (int * string) list;
+}
+
+let default_spec = Scenario.uniform ~count:60 ~radius:0.15 ()
+
+(* Past cold-start convergence on the default spec (same margin as
+   exp_churn's storms). *)
+let default_burst_round = 40
+
+let plan ~burst_round cell =
+  let corruption =
+    if cell.c_fraction > 0.0 then
+      [ Churn.corrupt_fraction ~round:burst_round ~fraction:cell.c_fraction ]
+    else []
+  in
+  let churn =
+    if cell.c_crash > 0.0 then
+      [
+        Churn.bernoulli_crash ~first:burst_round ~last:(burst_round + 15)
+          ~p_crash:cell.c_crash
+          ~p_join:(Float.min 1.0 (4.0 *. cell.c_crash))
+          ();
+        Churn.join_all ~round:(burst_round + 40);
+      ]
+    else []
+  in
+  Churn.compose (corruption @ churn)
+
+(* What one run reports, pure per-run so cells parallelize over domains. *)
+type success = {
+  ok_converged : bool;
+  ok_class : Monitor.classification;
+  ok_dwells : int list;
+  ok_unrecovered : int;
+  ok_post : int;
+  ok_ghost_peak : int;
+}
+
+type outcome = Run_ok of success | Run_failed of string
+
+let run_one rng ~spec ~max_rounds ~burst_round cell =
+  let world = Scenario.build rng spec in
+  let graph = world.Scenario.graph in
+  let ids = Array.init (Graph.node_count graph) Fun.id in
+  let monitor = Invariants.monitor ~config ~ids () in
+  let result =
+    E.run ~scheduler:cell.c_scheduler ~channel:cell.c_channel ~quiet_rounds
+      ~max_rounds
+      ~churn:(plan ~burst_round cell)
+      ~corrupt:Distributed.corrupt
+      ~on_round:(Monitor.on_round monitor)
+      ~probe:(Monitor.probe monitor) rng graph
+  in
+  let rep = Monitor.report monitor ~converged:result.E.converged in
+  {
+    ok_converged = result.E.converged;
+    ok_class = rep.Monitor.classification;
+    ok_dwells =
+      List.filter_map (fun b -> b.Monitor.dwell) rep.Monitor.bursts;
+    ok_unrecovered = rep.Monitor.unrecovered;
+    ok_post = rep.Monitor.post_recovery_violations;
+    ok_ghost_peak =
+      (match List.assoc_opt "ghosts" rep.Monitor.peaks with
+      | Some g -> g
+      | None -> 0);
+  }
+
+let run_cell ?domains ~seed ~runs ~spec ~max_rounds ~burst_round cell =
+  let outcomes =
+    Runner.replicate ?domains ~seed ~runs (fun ~run rng ->
+        ignore run;
+        match run_one rng ~spec ~max_rounds ~burst_round cell with
+        | ok -> Run_ok ok
+        | exception e -> Run_failed (Printexc.to_string e))
+  in
+  (* Aggregation replays the outcome list in run order (determinism
+     contract: identical for any domain count). *)
+  let converged = ref 0 in
+  let oscillating = ref 0 in
+  let still_changing = ref 0 in
+  let failed = ref 0 in
+  let dwell = Summary.create () in
+  let max_dwell = ref 0 in
+  let unrecovered = ref 0 in
+  let post = ref 0 in
+  let ghosts = ref 0 in
+  let bad = ref [] in
+  List.iteri
+    (fun i outcome ->
+      match outcome with
+      | Run_failed reason ->
+          incr failed;
+          bad := (i, reason) :: !bad
+      | Run_ok ok ->
+          (match ok.ok_class with
+          | Monitor.Converged -> incr converged
+          | Monitor.Oscillating _ -> incr oscillating
+          | Monitor.Still_changing -> incr still_changing);
+          List.iter
+            (fun d ->
+              Summary.add_int dwell d;
+              if d > !max_dwell then max_dwell := d)
+            ok.ok_dwells;
+          unrecovered := !unrecovered + ok.ok_unrecovered;
+          post := !post + ok.ok_post;
+          if ok.ok_ghost_peak > !ghosts then ghosts := ok.ok_ghost_peak;
+          if (not ok.ok_converged) || ok.ok_unrecovered > 0 || ok.ok_post > 0
+          then
+            let reason =
+              if not ok.ok_converged then
+                Monitor.classification_label ok.ok_class
+              else if ok.ok_unrecovered > 0 then "unrecovered burst"
+              else Printf.sprintf "post-recovery violations=%d" ok.ok_post
+            in
+            bad := (i, reason) :: !bad)
+    outcomes;
+  {
+    cell;
+    runs;
+    converged = !converged;
+    oscillating = !oscillating;
+    still_changing = !still_changing;
+    failed = !failed;
+    dwell;
+    max_dwell = !max_dwell;
+    unrecovered = !unrecovered;
+    post_violations = !post;
+    peak_ghosts = !ghosts;
+    bad = List.rev !bad;
+  }
+
+let run ?(seed = 42) ?(runs = 4) ?domains ?(spec = default_spec)
+    ?(grid = default_grid) ?(max_rounds = 1_500)
+    ?(burst_round = default_burst_round) () =
+  List.map
+    (run_cell ?domains ~seed ~runs ~spec ~max_rounds ~burst_round)
+    (cells grid)
+
+let to_table ?(title = "Campaign — worst case per fault-grid cell") rows =
+  let t =
+    Table.create ~title
+      ~header:
+        [
+          "corrupt"; "channel"; "crash/rd"; "scheduler"; "conv"; "osc";
+          "still"; "failed"; "mean dwell"; "max dwell"; "unrec";
+          "post-viol"; "peak ghosts"; "replay (seed-relative run: reason)";
+        ]
+      ()
+  in
+  Table.add_rows t
+    (List.map
+       (fun r ->
+         cell_label r.cell
+         @ [
+             Printf.sprintf "%d/%d" r.converged r.runs;
+             Table.cell_int r.oscillating;
+             Table.cell_int r.still_changing;
+             Table.cell_int r.failed;
+             Table.cell_float ~decimals:1 (Summary.mean r.dwell);
+             Table.cell_int r.max_dwell;
+             Table.cell_int r.unrecovered;
+             Table.cell_int r.post_violations;
+             Table.cell_int r.peak_ghosts;
+             (match r.bad with
+             | [] -> "-"
+             | bad ->
+                 String.concat "; "
+                   (List.map
+                      (fun (i, reason) -> Printf.sprintf "%d: %s" i reason)
+                      bad));
+           ])
+       rows)
+
+let print ?seed ?runs ?domains ?spec ?grid ?max_rounds ?burst_round () =
+  let rows = run ?seed ?runs ?domains ?spec ?grid ?max_rounds ?burst_round () in
+  Table.print (to_table rows);
+  let worst =
+    List.fold_left (fun acc r -> max acc r.max_dwell) 0 rows
+  in
+  let anomalous = List.length (List.filter (fun r -> r.bad <> []) rows) in
+  Printf.printf
+    "worst violation dwell: %d rounds; cells with anomalies: %d/%d\n" worst
+    anomalous (List.length rows)

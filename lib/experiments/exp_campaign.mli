@@ -1,0 +1,104 @@
+(** Robustness experiment C2: adversarial fault-campaign sweep.
+
+    A deterministic grid sweep over (corruption fraction × channel ×
+    crash churn × scheduler): each cell runs the distributed stack through
+    {!Ss_cluster.Invariants.monitor} under {!Runner}'s domain pool, so every
+    run reports its violation dwell per fault burst and — when it exhausts
+    the round budget — a divergence classification (oscillating vs still
+    changing) instead of a bare [converged = false].
+
+    The campaign degrades gracefully: a run that raises is recorded as a
+    failed run inside its row, never a crashed campaign, and every
+    anomalous run (raising, non-converging, or violating safety after
+    recovery) carries a replay pointer: re-run with the same [~seed] and
+    the listed run index — run [i] always draws the [i]-th positional
+    sub-stream ({!Runner.streams}), for any domain count. *)
+
+type cell = {
+  c_fraction : float;  (** fraction of nodes corrupted at the burst round *)
+  c_channel : Ss_radio.Channel.t;
+  c_crash : float;
+      (** per-round crash probability over a 15-round churn window after
+          the burst (crashed nodes trickle back; all rejoin at the end);
+          0 disables churn *)
+  c_scheduler : Ss_engine.Scheduler.t;
+}
+
+val cell_label : cell -> string list
+(** The four grid coordinates, rendered (fraction, channel, crash, sched). *)
+
+type grid = {
+  g_fractions : float list;
+  g_channels : Ss_radio.Channel.t list;
+  g_crash : float list;
+  g_schedulers : Ss_engine.Scheduler.t list;
+}
+
+val default_grid : grid
+val smoke_grid : grid
+
+val cells : grid -> cell list
+(** Cartesian product in a fixed order (fraction-major). *)
+
+type row = {
+  cell : cell;
+  runs : int;
+  converged : int;
+  oscillating : int;  (** budget-exhausted runs with a periodic digest tail *)
+  still_changing : int;  (** budget-exhausted runs without one *)
+  failed : int;  (** runs that raised *)
+  dwell : Ss_stats.Summary.t;
+      (** closed-burst violation dwell (rounds illegitimate after a
+          disturbance), pooled over the cell's runs *)
+  max_dwell : int;  (** worst closed-burst dwell; 0 when none closed *)
+  unrecovered : int;  (** bursts still violating when their run ended *)
+  post_violations : int;
+      (** violating rounds after recovery, totalled — 0 for a
+          self-stabilizing protocol *)
+  peak_ghosts : int;  (** worst single-round ghost-reference count *)
+  bad : (int * string) list;
+      (** replay pointers: anomalous run index with the reason (exception
+          text, classification, or closure failure) *)
+}
+
+val default_spec : Scenario.spec
+val default_burst_round : int
+
+val run_cell :
+  ?domains:int ->
+  seed:int ->
+  runs:int ->
+  spec:Scenario.spec ->
+  max_rounds:int ->
+  burst_round:int ->
+  cell ->
+  row
+
+val run :
+  ?seed:int ->
+  ?runs:int ->
+  ?domains:int ->
+  ?spec:Scenario.spec ->
+  ?grid:grid ->
+  ?max_rounds:int ->
+  ?burst_round:int ->
+  unit ->
+  row list
+
+val to_table : ?title:string -> row list -> Ss_stats.Table.t
+(** The worst-case table: per cell, convergence/classification counts, max
+    violation dwell, post-recovery violations, and replay pointers for
+    every anomalous run. *)
+
+val print :
+  ?seed:int ->
+  ?runs:int ->
+  ?domains:int ->
+  ?spec:Scenario.spec ->
+  ?grid:grid ->
+  ?max_rounds:int ->
+  ?burst_round:int ->
+  unit ->
+  unit
+(** Runs the campaign, prints the table plus a one-line verdict (worst
+    dwell across the grid; anomalous cell count). *)

@@ -120,7 +120,7 @@ let measure ?domains ~seed ~runs ~spec ~max_rounds scheduler storm =
             ~churn:(plan_of_storm storm) ~corrupt:Distributed.corrupt
             ~on_event:(fun ~round:_ ev ->
               Counter.incr events (Churn.event_label ev))
-            ~probe:(fun ~round:_ ~alive states ->
+            ~probe:(fun ~round:_ ~graph:_ ~alive states ->
               ghosts := max !ghosts (Distributed.ghost_references ~alive states))
             rng graph
         in

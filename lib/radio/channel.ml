@@ -53,13 +53,20 @@ let round_plan t rng ~graph =
   | Perfect -> fun ~src:_ ~dst:_ -> true
   | Bernoulli tau -> fun ~src:_ ~dst:_ -> Rng.bernoulli rng tau
   | Jammed { tau; region; jam_tau } ->
-      fun ~src:_ ~dst ->
-        let effective =
-          match Graph.position graph dst with
-          | Some p when Ss_geom.Bbox.contains region p -> jam_tau
-          | Some _ | None -> tau
-        in
-        Rng.bernoulli rng effective
+      (* A jammed region is meaningless on a graph without geometry; a
+         silent fallback to plain [tau] would make the jam a no-op, so the
+         mismatch is an error at plan time, not per frame. *)
+      (match Graph.positions graph with
+      | None ->
+          invalid_arg
+            "Channel.round_plan: Jammed channel needs node positions \
+             (build the graph with ~positions)"
+      | Some pos ->
+          fun ~src:_ ~dst ->
+            let effective =
+              if Ss_geom.Bbox.contains region pos.(dst) then jam_tau else tau
+            in
+            Rng.bernoulli rng effective)
   | Slotted { slots } ->
       let slot =
         Array.init (Graph.node_count graph) (fun _ -> Rng.int rng slots)

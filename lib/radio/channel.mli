@@ -20,7 +20,9 @@ val bernoulli : float -> t
 val jammed : tau:float -> region:Ss_geom.Bbox.t -> jam_tau:float -> t
 (** Like [bernoulli tau], but receivers located inside [region] only
     receive with probability [jam_tau] — an adversarial interference zone
-    for robustness experiments. Requires node positions. *)
+    for robustness experiments. Requires node positions: {!round_plan}
+    raises [Invalid_argument] on a graph built without [~positions]
+    (silently degrading to [bernoulli tau] would make the jam a no-op). *)
 
 val slotted : slots:int -> t
 (** Slotted contention: within each round every node transmits in a uniform

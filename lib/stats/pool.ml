@@ -73,13 +73,24 @@ let sequential n f =
   if n = 0 then [||]
   else begin
     (* Explicit ascending order: the sequential path is the reference the
-       parallel one must reproduce, so its evaluation order is spelled
-       out rather than inherited from Array.init. *)
-    let results = Array.make n (f 0) in
-    for i = 1 to n - 1 do
-      results.(i) <- f i
+       parallel one must reproduce, so its evaluation order is spelled out
+       rather than inherited from Array.init. Like the parallel path, every
+       item runs even when one raises; the lowest-index exception is
+       re-raised only after the whole job has executed. *)
+    let results = Array.make n None in
+    for i = 0 to n - 1 do
+      results.(i) <-
+        Some
+          (match f i with
+          | v -> Ok v
+          | exception e -> Error (e, Printexc.get_raw_backtrace ()))
     done;
-    results
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      results
   end
 
 let map t n f =

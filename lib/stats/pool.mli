@@ -26,9 +26,12 @@ val domains : t -> int
 val map : t -> int -> (int -> 'a) -> 'a array
 (** [map t n f] is [[| f 0; ...; f (n-1) |]], with the items executed on
     the pool's domains in an unspecified order and collected by index.
-    If any [f i] raises, the exception of the lowest such index is
-    re-raised in the caller (after all items finish). Do not call [map]
-    on the same pool from within [f]: the nested submission deadlocks. *)
+    A raising item never aborts the job: {e every} item executes (on both
+    the parallel and the sequential path), no worker is orphaned, the pool
+    stays usable, and the exception of the lowest raising index is
+    re-raised in the caller once all items have finished. Do not call
+    [map] on the same pool from within [f]: the nested submission
+    deadlocks. *)
 
 val shutdown : t -> unit
 (** Wait for any in-flight job, stop the workers and join them.

@@ -1,0 +1,33 @@
+(* Fixed-capacity ring over a plain array. The backing array is allocated
+   lazily at the first push so ['a] needs no default value. *)
+
+type 'a t = {
+  cap : int;
+  mutable data : 'a array; (* [||] until the first push *)
+  mutable next : int; (* slot the next push writes *)
+  mutable total : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Ring.create: capacity must be >= 1";
+  { cap = capacity; data = [||]; next = 0; total = 0 }
+
+let capacity t = t.cap
+
+let length t = min t.total t.cap
+
+let total t = t.total
+
+let push t v =
+  if Array.length t.data = 0 then t.data <- Array.make t.cap v;
+  t.data.(t.next) <- v;
+  t.next <- (t.next + 1) mod t.cap;
+  t.total <- t.total + 1
+
+let get t i =
+  if i < 0 || i >= length t then invalid_arg "Ring.get: index out of window";
+  t.data.((t.next - 1 - i + (2 * t.cap)) mod t.cap)
+
+let to_array t =
+  let n = length t in
+  Array.init n (fun i -> get t (n - 1 - i))

@@ -1,0 +1,28 @@
+(** Fixed-capacity ring buffer.
+
+    Keeps the last [capacity] pushed values; older values are overwritten
+    silently. Used by the engine's online monitor to hold a bounded window
+    of per-round state digests without ever growing. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Values currently held; at most [capacity]. *)
+
+val total : 'a t -> int
+(** Values ever pushed (including the overwritten ones). *)
+
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** [get t 0] is the newest value, [get t 1] the one before, ...
+    Raises [Invalid_argument] when the index is outside
+    [0, length t - 1]. *)
+
+val to_array : 'a t -> 'a array
+(** Oldest first. *)

@@ -362,7 +362,7 @@ let test_probe_sees_liveness () =
   let dead_seen = ref 0 in
   let _ =
     E.run ~churn
-      ~probe:(fun ~round:_ ~alive _states ->
+      ~probe:(fun ~round:_ ~graph:_ ~alive _states ->
         if not alive.(2) then incr dead_seen)
       (rng ()) g
   in
@@ -479,7 +479,7 @@ let test_ghosts_spike_then_drain () =
   let peak = ref 0 in
   let result =
     ED.run ~churn ~quiet_rounds:quiet ~max_rounds:3000
-      ~probe:(fun ~round:_ ~alive states ->
+      ~probe:(fun ~round:_ ~graph:_ ~alive states ->
         peak := max !peak (Distributed.ghost_references ~alive states))
       rng graph
   in
@@ -487,6 +487,50 @@ let test_ghosts_spike_then_drain () =
   Alcotest.(check bool) "ghosts appeared after the burst" true (!peak > 0);
   Alcotest.(check int) "ghosts drained by the end" 0
     (Distributed.ghost_references ~alive:result.ED.alive result.ED.states)
+
+(* A lossy-channel instance: cache entries must outlive slotted-channel
+   frame loss, so the TTL is raised well above the default. *)
+module PD_lossy = Distributed.Make (struct
+  let params = { Distributed.default_params with Distributed.cache_ttl = 8 }
+end)
+
+module EL = Engine.Make (PD_lossy)
+
+let test_combined_adversity_recovers () =
+  (* Every adversity class at once: transient state corruption lifted
+     through [Fault.to_churn], a contended slotted channel, and a
+     crash-then-rejoin storm — one run, one plan. Self-stabilization
+     demands the network still settle into a safe configuration: the final
+     assignment is legitimate and no ghost references survive. *)
+  let rng = Rng.create ~seed:47 in
+  let graph = Builders.gnp rng ~n:40 ~p:0.12 in
+  let fault_churn, corrupt =
+    Fault.to_churn
+      (Fault.at_round ~round:40 ~count:10 ~corrupt:Distributed.corrupt)
+  in
+  let churn =
+    Churn.compose
+      [
+        Churn.crash_fraction ~round:25 ~fraction:0.2;
+        fault_churn;
+        Churn.join_all ~round:70;
+      ]
+  in
+  let result =
+    EL.run
+      ~channel:(Ss_radio.Channel.slotted ~slots:24)
+      ~churn ~corrupt ~quiet_rounds:10 ~max_rounds:5000 rng graph
+  in
+  Alcotest.(check bool) "converged under combined adversity" true
+    result.EL.converged;
+  Alcotest.(check bool) "everyone rejoined" true
+    (Array.for_all Fun.id result.EL.alive);
+  let after = Distributed.to_assignment result.EL.states in
+  let ids = Array.init (Graph.node_count graph) Fun.id in
+  Alcotest.(check bool) "legitimate after combined adversity" true
+    (Legitimacy.is_legitimate Config.basic result.EL.graph ~ids after);
+  Alcotest.(check int) "no ghost references" 0
+    (Distributed.ghost_references ~alive:result.EL.alive result.EL.states)
 
 (* -------------------------------------------------------------- Exp_churn *)
 
@@ -557,6 +601,8 @@ let suite =
       test_link_flap_storm_recovers;
     Alcotest.test_case "distributed: ghosts spike then drain" `Quick
       test_ghosts_spike_then_drain;
+    Alcotest.test_case "distributed: combined adversity recovers" `Quick
+      test_combined_adversity_recovers;
     Alcotest.test_case "exp_churn: finite recovery everywhere" `Slow
       test_exp_churn_small;
   ]

@@ -104,16 +104,24 @@ let test_fault_hook_resets_quiescence () =
   let fault ~round ~states _rng =
     if round = 8 then begin
       states.(3) <- 0;
-      true
+      [ 3 ]
     end
-    else false
+    else []
   in
   (* quiet_rounds large enough that the executor is still alive when the
      round-8 fault fires. *)
   let result = E.run ~quiet_rounds:10 ~fault (rng ()) g in
   Alcotest.(check bool) "converged again" true result.E.converged;
   Alcotest.(check bool) "ran past the fault" true (result.E.last_change_round >= 8);
-  Array.iter (fun st -> Alcotest.(check int) "healed" 6 st) result.E.states
+  Array.iter (fun st -> Alcotest.(check int) "healed" 6 st) result.E.states;
+  (* The dead fault_report type is now wired: the run names its victims. *)
+  (match result.E.faults with
+  | [ { Engine.fault_round; corrupted } ] ->
+      Alcotest.(check int) "fault round reported" 8 fault_round;
+      Alcotest.(check (list int)) "victims reported" [ 3 ] corrupted
+  | fs ->
+      Alcotest.failf "expected exactly one fault report, got %d"
+        (List.length fs))
 
 let test_lossy_channel_still_converges () =
   (* Floodmax is monotone, so convergence survives arbitrary loss as long
@@ -153,14 +161,17 @@ let test_fault_plan_schedule () =
   in
   let states = [| 0; 0; 0 |] in
   let r = rng () in
-  Alcotest.(check bool) "round 1 silent" false
+  Alcotest.(check (list int)) "round 1 silent" []
     (Fault.inject plan ~round:1 ~states r);
-  Alcotest.(check bool) "round 2 fires" true
-    (Fault.inject plan ~round:2 ~states r);
+  let victims = Fault.inject plan ~round:2 ~states r in
+  Alcotest.(check int) "round 2: one victim" 1 (List.length victims);
   let corrupted = Array.fold_left (fun acc v -> if v >= 1000 then acc + 1 else acc) 0 states in
   Alcotest.(check int) "one victim" 1 corrupted;
-  Alcotest.(check bool) "round 5 fires" true
-    (Fault.inject plan ~round:5 ~states r)
+  List.iter
+    (fun p -> Alcotest.(check bool) "reported victim corrupted" true (states.(p) >= 1000))
+    victims;
+  Alcotest.(check int) "round 5: two victims" 2
+    (List.length (Fault.inject plan ~round:5 ~states r))
 
 let test_fault_plan_validation () =
   Alcotest.check_raises "round 0" (Invalid_argument "Fault.make: rounds start at 1")
@@ -173,7 +184,8 @@ let test_fault_plan_validation () =
 let test_fault_count_clamped () =
   let plan = Fault.at_round ~round:1 ~count:99 ~corrupt:(fun _ _ st -> st + 1) in
   let states = [| 0; 0 |] in
-  Alcotest.(check bool) "fires" true (Fault.inject plan ~round:1 ~states (rng ()));
+  Alcotest.(check int) "both victims reported" 2
+    (List.length (Fault.inject plan ~round:1 ~states (rng ())));
   Alcotest.(check (array int)) "all corrupted once" [| 1; 1 |] states
 
 (* -------------------------------------------------------------- Channel *)
@@ -271,17 +283,18 @@ let test_floodmax_under_slotted_channel () =
   Array.iter (fun st -> Alcotest.(check int) "max everywhere" 8 st) result.E.states
 
 let test_fault_hook_silent_outside_schedule () =
-  (* The hook form used by [Engine.run ~fault]: it must report [false] on
-     every round the schedule does not mention, so quiescence tracking is
-     undisturbed between bursts. *)
+  (* The hook form used by [Engine.run ~fault]: it must report no victims
+     on every round the schedule does not mention, so quiescence tracking
+     is undisturbed between bursts. *)
   let plan = Fault.at_round ~round:4 ~count:1 ~corrupt:(fun _ _ st -> st + 1) in
   let states = [| 0; 0; 0 |] in
   let r = rng () in
   for round = 1 to 10 do
-    let fired = Fault.hook plan ~round ~states r in
-    Alcotest.(check bool)
+    let victims = Fault.hook plan ~round ~states r in
+    Alcotest.(check int)
       (Printf.sprintf "round %d" round)
-      (round = 4) fired
+      (if round = 4 then 1 else 0)
+      (List.length victims)
   done;
   Alcotest.(check int) "exactly one corruption" 1
     (Array.fold_left ( + ) 0 states)
@@ -315,6 +328,21 @@ let test_channel_jammed () =
   let plan = Channel.round_plan channel r ~graph:g in
   Alcotest.(check bool) "outside region receives" true (plan ~src:1 ~dst:0);
   Alcotest.(check bool) "inside region jammed" false (plan ~src:0 ~dst:1)
+
+let test_channel_jammed_needs_positions () =
+  (* On a graph without geometry a jammed region cannot be evaluated; the
+     old behavior silently degraded to bernoulli tau, turning the jam into
+     a no-op. Now it is an explicit error at plan time. *)
+  let g = Builders.path 3 in
+  let region =
+    Ss_geom.Bbox.make ~min_x:0.0 ~min_y:0.0 ~max_x:1.0 ~max_y:1.0
+  in
+  let channel = Channel.jammed ~tau:0.9 ~region ~jam_tau:0.0 in
+  Alcotest.check_raises "missing positions rejected"
+    (Invalid_argument
+       "Channel.round_plan: Jammed channel needs node positions (build the \
+        graph with ~positions)") (fun () ->
+      ignore (Channel.round_plan channel (rng ()) ~graph:g ~src:0 ~dst:1 : bool))
 
 let suite =
   [
@@ -352,6 +380,8 @@ let suite =
     Alcotest.test_case "floodmax under slotted contention" `Quick
       test_floodmax_under_slotted_channel;
     Alcotest.test_case "jammed region" `Quick test_channel_jammed;
+    Alcotest.test_case "jammed channel needs positions" `Quick
+      test_channel_jammed_needs_positions;
     Alcotest.test_case "fault hook silent outside schedule" `Quick
       test_fault_hook_silent_outside_schedule;
     Alcotest.test_case "floodmax under a jammed region" `Quick

@@ -53,6 +53,42 @@ let test_pool_exception_lowest_index () =
   in
   Alcotest.(check (option string)) "lowest failing index wins" (Some "5") raised
 
+let test_pool_raising_task_contained () =
+  (* A raising task must not deadlock the pool, orphan a worker, or
+     suppress the other items: everything else still executes, the
+     lowest-index exception is re-raised, and the pool remains usable —
+     identically on the sequential (1-domain) and parallel (4-domain)
+     paths. *)
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          let executed = Array.make 32 false in
+          let raised =
+            try
+              ignore
+                (Pool.map pool 32 (fun i ->
+                     executed.(i) <- true;
+                     if i = 7 || i = 20 then failwith (string_of_int i);
+                     i));
+              None
+            with Failure msg -> Some msg
+          in
+          Alcotest.(check (option string))
+            (Printf.sprintf "domains %d: lowest index re-raised" domains)
+            (Some "7") raised;
+          Alcotest.(check bool)
+            (Printf.sprintf "domains %d: every item still executed" domains)
+            true
+            (Array.for_all Fun.id executed);
+          (* No orphaned worker / wedged state: the same pool still maps. *)
+          let again = Pool.map pool 5 (fun i -> i * 3) in
+          Alcotest.(check bool)
+            (Printf.sprintf "domains %d: pool usable after the failure"
+               domains)
+            true
+            (again = [| 0; 3; 6; 9; 12 |])))
+    [ 1; 4 ]
+
 let test_pool_invalid_domains () =
   Alcotest.check_raises "domains 0"
     (Invalid_argument "Pool.create: need at least one domain") (fun () ->
@@ -235,6 +271,33 @@ let churn_projection rows =
         r.E.Exp_churn.converged ))
     rows
 
+let campaign_projection rows =
+  List.map
+    (fun (r : E.Exp_campaign.row) ->
+      ( E.Exp_campaign.cell_label r.E.Exp_campaign.cell,
+        r.E.Exp_campaign.runs,
+        r.E.Exp_campaign.converged,
+        r.E.Exp_campaign.oscillating,
+        r.E.Exp_campaign.still_changing,
+        r.E.Exp_campaign.failed,
+        r.E.Exp_campaign.dwell,
+        r.E.Exp_campaign.max_dwell,
+        r.E.Exp_campaign.unrecovered,
+        r.E.Exp_campaign.post_violations,
+        r.E.Exp_campaign.peak_ghosts,
+        r.E.Exp_campaign.bad ))
+    rows
+
+let test_campaign_identical () =
+  let seq, par =
+    both (fun ~domains ->
+        campaign_projection
+          (E.Exp_campaign.run ~seed:3 ~runs:2 ~domains
+             ~spec:(Scenario.uniform ~count:35 ~radius:0.2 ())
+             ~grid:E.Exp_campaign.smoke_grid ~max_rounds:900 ()))
+  in
+  check_identical "campaign rows" seq par
+
 let test_churn_identical () =
   let seq, par =
     both (fun ~domains ->
@@ -257,6 +320,8 @@ let suite =
     Alcotest.test_case "pool survives reuse" `Quick test_pool_reuse;
     Alcotest.test_case "pool re-raises lowest failing index" `Quick
       test_pool_exception_lowest_index;
+    Alcotest.test_case "pool contains raising tasks (1 and 4 domains)" `Quick
+      test_pool_raising_task_contained;
     Alcotest.test_case "pool rejects zero domains" `Quick
       test_pool_invalid_domains;
     Alcotest.test_case "pool shutdown is idempotent" `Quick
@@ -287,4 +352,5 @@ let suite =
     Alcotest.test_case "link-failure 1 = 4 domains" `Slow
       test_link_failure_identical;
     Alcotest.test_case "churn 1 = 4 domains" `Slow test_churn_identical;
+    Alcotest.test_case "campaign 1 = 4 domains" `Slow test_campaign_identical;
   ]
