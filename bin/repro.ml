@@ -32,6 +32,15 @@ let csv_arg =
   let doc = "Emit CSV instead of a boxed table." in
   Arg.(value & flag & info [ "csv" ] ~doc)
 
+let sparse_arg =
+  let doc =
+    "Use the engine's sparse dirty-set executor instead of the dense round \
+     walk. Output is bit-identical (the sparse differential test battery is \
+     the contract); per-round cost becomes proportional to the perturbed \
+     region instead of the network."
+  in
+  Arg.(value & flag & info [ "sparse" ] ~doc)
+
 let output ~csv table =
   if csv then print_string (Table.to_csv table) else Table.print table
 
@@ -230,16 +239,16 @@ let churn_cmd =
     in
     Arg.(value & opt float 300.0 & info [ "intensity" ] ~docv:"LAMBDA" ~doc)
   in
-  let run seed runs jobs intensity csv =
+  let run seed runs jobs sparse intensity csv =
     let spec = E.Scenario.poisson ~intensity ~radius:0.1 () in
-    let rows = E.Exp_churn.run ~seed ~runs ~domains:jobs ~spec () in
+    let rows = E.Exp_churn.run ~seed ~runs ~domains:jobs ~sparse ~spec () in
     output ~csv (E.Exp_churn.to_table rows);
     output ~csv (E.Exp_churn.events_table rows)
   in
   Cmd.v (Cmd.info "churn" ~doc)
     Term.(
-      const run $ seed_arg $ runs_arg 5 $ jobs_arg $ churn_intensity_arg
-      $ csv_arg)
+      const run $ seed_arg $ runs_arg 5 $ jobs_arg $ sparse_arg
+      $ churn_intensity_arg $ csv_arg)
 
 let campaign_cmd =
   let doc =
@@ -255,7 +264,7 @@ let campaign_cmd =
     in
     Arg.(value & flag & info [ "smoke" ] ~doc)
   in
-  let run seed runs jobs smoke csv =
+  let run seed runs jobs sparse smoke csv =
     let grid, spec, runs, max_rounds =
       if smoke then
         ( E.Exp_campaign.smoke_grid,
@@ -265,7 +274,8 @@ let campaign_cmd =
       else (E.Exp_campaign.default_grid, E.Exp_campaign.default_spec, runs, 1_500)
     in
     let rows =
-      E.Exp_campaign.run ~seed ~runs ~domains:jobs ~spec ~grid ~max_rounds ()
+      E.Exp_campaign.run ~seed ~runs ~domains:jobs ~sparse ~spec ~grid
+        ~max_rounds ()
     in
     output ~csv (E.Exp_campaign.to_table rows);
     if not csv then begin
@@ -282,7 +292,9 @@ let campaign_cmd =
     end
   in
   Cmd.v (Cmd.info "campaign" ~doc)
-    Term.(const run $ seed_arg $ runs_arg 4 $ jobs_arg $ smoke_arg $ csv_arg)
+    Term.(
+      const run $ seed_arg $ runs_arg 4 $ jobs_arg $ sparse_arg $ smoke_arg
+      $ csv_arg)
 
 let all_cmd =
   let doc = "Run every experiment with fast defaults." in

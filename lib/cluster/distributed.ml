@@ -329,6 +329,18 @@ struct
     && a.head = b.head
 end
 
+(* The engine's sparse-mode warm hook. A cache or far entry not refreshed
+   at the node's last executed step is aging toward its TTL: it will
+   expire — and change the node's density, election inputs and relayed
+   summaries — after ttl more steps even if no frame ever changes again.
+   The sparse executor must keep stepping such a node (dense execution
+   ticks its clock every round); once every entry is stamped at the
+   current clock, expiry can only be triggered by an input change, and the
+   node is safe to freeze. *)
+let pending_expiry st =
+  List.exists (fun (_, e) -> e.e_heard < st.clock) st.cache
+  || List.exists (fun (_, f) -> f.f_heard < st.clock) st.far
+
 (* Random state corruption for fault-injection experiments: scrambles every
    field a transient fault could damage, within type-correct bounds. *)
 let corrupt rng _node st =

@@ -77,6 +77,14 @@ end) :
     relays in flight and pending expiries can leave isolated output-quiet
     rounds mid-convergence. *)
 
+val pending_expiry : state -> bool
+(** The engine's sparse-mode warm hook: true while any cache or far entry
+    was not refreshed at the node's last executed step — it is aging
+    toward the TTL and will expire (changing density, election inputs and
+    relayed summaries) even if no frame ever changes again, so the sparse
+    executor must keep stepping the node until the pending expiries
+    drain. Pass as [Engine.Make(P).Sparse { warm = Some pending_expiry }]. *)
+
 val corrupt : Ss_prng.Rng.t -> int -> state -> state
 (** Scramble every corruptible field (names, density, head, parent, cached
     values) within type-correct bounds; the transient-fault model. *)

@@ -57,6 +57,18 @@ let finalize_bursts ~event_rounds ~history ~rounds ~converged =
   in
   annotate merged
 
+(* Key lanes under the run's base key: round -> {channel, permutation,
+   per-node handle} streams. Every random decision of a round except churn
+   and fault injection is a pure function of its lane, so executing a
+   subset of the nodes cannot shift anyone else's draws — the property the
+   sparse executor's equivalence proof rests on. The main sequential
+   generator is reserved for the per-round plan evaluation (churn events,
+   fault hooks, Join re-inits, Corrupt scrambles), which both executors
+   perform identically. *)
+let lane_channel rk = Rng.subkey rk 0
+let lane_perm rk = Rng.subkey rk 1
+let lane_handle rk = Rng.subkey rk 2
+
 module Make (P : Protocol.S) = struct
   type run = {
     states : P.state array;
@@ -70,6 +82,10 @@ module Make (P : Protocol.S) = struct
     faults : fault_report list; (* rounds with corrupted nodes, oldest first *)
   }
 
+  type mode = Dense | Sparse of { warm : (P.state -> bool) option }
+
+  let sparse = Sparse { warm = None }
+
   let gather_messages deliver graph states p =
     (* Frames received by node p this step: one per neighbor, each surviving
        the round's channel plan. *)
@@ -82,17 +98,20 @@ module Make (P : Protocol.S) = struct
     done;
     !acc
 
-  let step_round rng graph live channel scheduler states =
+  let node_rng hkey p = Rng.of_key (Rng.subkey hkey p)
+
+  let step_round ~rk graph live channel scheduler states =
     let n = Array.length states in
     let changed = ref 0 in
-    (* One delivery plan per round: slotted channels draw their slot
-       assignment here, so all receivers of the round see consistent
+    (* One delivery plan per round: slotted channels memoize their slot
+       assignment per plan, so all receivers of the round see consistent
        collisions. *)
-    let deliver = Channel.round_plan channel rng ~graph in
+    let deliver = Channel.round_plan channel ~key:(lane_channel rk) ~graph in
+    let hkey = lane_handle rk in
     let update_node snapshot p =
       if live.(p) then begin
         let msgs = gather_messages deliver graph snapshot p in
-        let next = P.handle rng graph p states.(p) msgs in
+        let next = P.handle (node_rng hkey p) graph p states.(p) msgs in
         if not (P.equal_state next states.(p)) then incr changed;
         states.(p) <- next
       end
@@ -109,8 +128,165 @@ module Make (P : Protocol.S) = struct
           update_node states p
         done
     | Scheduler.Random_order ->
-        let order = Rng.permutation rng n in
+        let order = Rng.permutation (Rng.of_key (lane_perm rk)) n in
         Array.iter (fun p -> update_node states p) order);
+    !changed
+
+  (* ------------------------------------------------------- sparse mode *)
+
+  (* The dirty frontier. [cur] holds the nodes to step this round, [nxt]
+     accumulates next round's; bits back the worklists so marking is
+     idempotent and clearing costs O(|marked|). *)
+  type sparse_ctx = {
+    mutable cur : bool array;
+    mutable cur_list : int list;
+    mutable nxt : bool array;
+    mutable nxt_list : int list;
+    last_msg : P.message array; (* emission of each node's current state *)
+    warm : P.state -> bool;
+  }
+
+  let mark_now ctx p =
+    if not ctx.cur.(p) then begin
+      ctx.cur.(p) <- true;
+      ctx.cur_list <- p :: ctx.cur_list
+    end
+
+  let mark_nxt ctx p =
+    if not ctx.nxt.(p) then begin
+      ctx.nxt.(p) <- true;
+      ctx.nxt_list <- p :: ctx.nxt_list
+    end
+
+  let advance_frontier ctx =
+    List.iter (fun p -> ctx.cur.(p) <- false) ctx.cur_list;
+    let spent = ctx.cur in
+    ctx.cur <- ctx.nxt;
+    ctx.cur_list <- ctx.nxt_list;
+    ctx.nxt <- spent;
+    ctx.nxt_list <- []
+
+  let make_ctx ~warm graph states =
+    let n = Array.length states in
+    {
+      (* Round 1 steps everyone: initial states are arbitrary. *)
+      cur = Array.make n true;
+      cur_list = List.init n Fun.id;
+      nxt = Array.make n false;
+      nxt_list = [];
+      last_msg = Array.init n (fun p -> P.emit graph p states.(p));
+      warm;
+    }
+
+  (* A churn event or fault dirties exactly the nodes whose step input it
+     can change: the victim itself and — when its frames appear or vanish
+     or its emission is rewritten — every node that can hear it. Base-graph
+     neighborhoods are a superset of any snapshot's, so marking them is
+     always safe. State-rewriting events also rebase the stored emission,
+     keeping the compare-against-previous invariant intact. *)
+  let touch_event ctx base states ev =
+    let mark_with_nbrs p =
+      mark_now ctx p;
+      Array.iter (mark_now ctx) (Graph.neighbors base p)
+    in
+    match ev with
+    | Churn.Crash p | Churn.Sleep p | Churn.Wake p -> mark_with_nbrs p
+    | Churn.Join p | Churn.Corrupt p ->
+        ctx.last_msg.(p) <- P.emit base p states.(p);
+        mark_with_nbrs p
+    | Churn.Link_down (p, q) | Churn.Link_up (p, q) ->
+        mark_now ctx p;
+        mark_now ctx q
+
+  let touch_fault ctx base states v =
+    ctx.last_msg.(v) <- P.emit base v states.(v);
+    mark_now ctx v;
+    Array.iter (mark_now ctx) (Graph.neighbors base v)
+
+  (* One sparse round: step only the frontier. [prev_rk] keys the previous
+     round's channel plan — counter-keyed sampling makes it reconstructible,
+     so delivery diffs need no storage. *)
+  let step_round_sparse ctx ~rk ~prev_rk graph live channel scheduler states =
+    let n = Array.length states in
+    let changed = ref 0 in
+    let deliver = Channel.round_plan channel ~key:(lane_channel rk) ~graph in
+    let hkey = lane_handle rk in
+    (* A lossy channel changes a node's inputs whenever an incident
+       delivery decision flips between rounds, even with every state
+       quiet; mark receivers whose pattern moved. Deterministic channels
+       skip this entirely. *)
+    (match prev_rk with
+    | Some prk when not (Channel.deterministic channel) ->
+        let prev =
+          Channel.round_plan channel ~key:(lane_channel prk) ~graph
+        in
+        for p = 0 to n - 1 do
+          if live.(p) && not ctx.cur.(p) then begin
+            let nbrs = Graph.neighbors graph p in
+            let k = Array.length nbrs in
+            let i = ref 0 in
+            let flipped = ref false in
+            while (not !flipped) && !i < k do
+              let q = nbrs.(!i) in
+              if deliver ~src:q ~dst:p <> prev ~src:q ~dst:p then
+                flipped := true;
+              incr i
+            done;
+            if !flipped then mark_now ctx p
+          end
+        done
+    | _ -> ());
+    (* Stepping a node: identical to the dense path, plus frontier
+       bookkeeping. An output change re-arms the node itself; an emission
+       change disturbs its audience (this round for daemons that still
+       have the neighbor ahead in the order, next round otherwise — the
+       conservative union is safe because stepping a node whose input did
+       not change is output-stable by the protocol contract); a warm state
+       (pending time-based behavior, e.g. cache expiry) keeps the node
+       stepping until it drains. *)
+    let update_node ~in_round snapshot p =
+      if live.(p) then begin
+        let msgs = gather_messages deliver graph snapshot p in
+        let next = P.handle (node_rng hkey p) graph p states.(p) msgs in
+        if not (P.equal_state next states.(p)) then begin
+          incr changed;
+          mark_nxt ctx p
+        end;
+        states.(p) <- next;
+        let msg = P.emit graph p next in
+        if msg <> ctx.last_msg.(p) then begin
+          ctx.last_msg.(p) <- msg;
+          let nbrs = Graph.neighbors graph p in
+          Array.iter
+            (fun q ->
+              if in_round then mark_now ctx q;
+              mark_nxt ctx q)
+            nbrs
+        end;
+        if ctx.warm next then mark_nxt ctx p
+      end
+    in
+    (match scheduler with
+    | Scheduler.Synchronous ->
+        (* Frontier order is irrelevant: every step reads the pre-round
+           snapshot and its own key lane. *)
+        if ctx.cur_list <> [] then begin
+          let snapshot = Array.copy states in
+          List.iter (fun p -> update_node ~in_round:false snapshot p)
+            ctx.cur_list
+        end
+    | Scheduler.Sequential ->
+        (* Scan in daemon order so an emission change reaches the nodes
+           behind it in the same round, exactly as in the dense walk. *)
+        for p = 0 to n - 1 do
+          if ctx.cur.(p) then update_node ~in_round:true states p
+        done
+    | Scheduler.Random_order ->
+        let order = Rng.permutation (Rng.of_key (lane_perm rk)) n in
+        Array.iter
+          (fun p -> if ctx.cur.(p) then update_node ~in_round:true states p)
+          order);
+    advance_frontier ctx;
     !changed
 
   let init_states rng graph =
@@ -143,15 +319,25 @@ module Make (P : Protocol.S) = struct
               true
         end
 
-  let run ?(scheduler = Scheduler.Synchronous) ?(channel = Channel.perfect)
-      ?(max_rounds = 10_000) ?(quiet_rounds = 1) ?fault ?churn ?corrupt
-      ?on_round ?on_event ?probe ?states rng graph =
+  let run ?(mode = Dense) ?(scheduler = Scheduler.Synchronous)
+      ?(channel = Channel.perfect) ?(max_rounds = 10_000) ?(quiet_rounds = 1)
+      ?fault ?churn ?corrupt ?on_round ?on_event ?probe ?states rng graph =
     if max_rounds < 0 then invalid_arg "Engine.run: negative round budget";
     if quiet_rounds < 1 then invalid_arg "Engine.run: quiet_rounds must be >= 1";
+    (* The base key is drawn first, so the keyed lanes are a pure function
+       of the generator's state at entry — identical for both executors. *)
+    let base_key = Rng.key_of rng in
     let states =
       match states with Some s -> s | None -> init_states rng graph
     in
     let dyn = Dynamic.create graph in
+    let ctx =
+      match mode with
+      | Dense -> None
+      | Sparse { warm } ->
+          let warm = match warm with Some f -> f | None -> fun _ -> false in
+          Some (make_ctx ~warm graph states)
+    in
     (* Keep the run alive through quiescence while a bounded plan still has
        events scheduled, so post-convergence storms always fire. *)
     let horizon =
@@ -182,6 +368,9 @@ module Make (P : Protocol.S) = struct
                   (match ev with
                   | Churn.Corrupt p -> churn_corrupted := p :: !churn_corrupted
                   | _ -> ());
+                  (match ctx with
+                  | Some c -> touch_event c graph states ev
+                  | None -> ());
                   (match on_event with
                   | None -> ()
                   | Some f -> f ~round:!round ev);
@@ -200,6 +389,9 @@ module Make (P : Protocol.S) = struct
         | None -> []
         | Some inject -> inject ~round:!round ~states rng
       in
+      (match ctx with
+      | Some c -> List.iter (touch_fault c graph states) victims
+      | None -> ());
       (* Every corrupted node this round: churn [Corrupt] events in plan
          order, then the fault hook's victims. A fault round counts as a
          disturbance for burst/recovery attribution even without churn. *)
@@ -212,7 +404,17 @@ module Make (P : Protocol.S) = struct
       (* Incremental: on event-free rounds this returns the cached graph;
          after a burst it patches only the rows the events touched. *)
       let g = Dynamic.snapshot dyn in
-      let changed = step_round rng g live channel scheduler states in
+      let rk = Rng.subkey base_key !round in
+      let changed =
+        match ctx with
+        | None -> step_round ~rk g live channel scheduler states
+        | Some c ->
+            let prev_rk =
+              if !round > 1 then Some (Rng.subkey base_key (!round - 1))
+              else None
+            in
+            step_round_sparse c ~rk ~prev_rk g live channel scheduler states
+      in
       history := changed :: !history;
       (match on_round with
       | None -> ()

@@ -34,6 +34,26 @@ type burst = {
 }
 
 module Make (P : Protocol.S) : sig
+  type mode =
+    | Dense  (** every live node steps every round — the reference walk *)
+    | Sparse of { warm : (P.state -> bool) option }
+        (** dirty-set execution: a node steps only when its input could
+            have changed since its last step — it changed itself, a node
+            it can hear changed its emission, a churn/fault event touched
+            its neighborhood, an incident channel delivery decision
+            flipped, or [warm] reports pending time-based behavior (e.g.
+            {!Ss_cluster.Distributed.pending_expiry}: cache entries aging
+            toward their TTL, which must keep ticking for the protocol to
+            stay self-stabilizing). Equivalent to [Dense] on every
+            observable of {!run} — states modulo [P.equal_state], rounds,
+            change history, bursts, faults — for protocols honoring the
+            {!Protocol.S} step-input contract; cost per round is
+            proportional to the perturbed region, not the network. *)
+
+  val sparse : mode
+  (** [Sparse { warm = None }] — for protocols without time-based
+      behavior. *)
+
   type run = {
     states : P.state array;
         (** final states; crashed/sleeping nodes hold their last (Join
@@ -65,6 +85,7 @@ module Make (P : Protocol.S) : sig
   (** One [P.init] per node. *)
 
   val run :
+    ?mode:mode ->
     ?scheduler:Scheduler.t ->
     ?channel:Ss_radio.Channel.t ->
     ?max_rounds:int ->
@@ -113,6 +134,23 @@ module Make (P : Protocol.S) : sig
       instrumentation such as invariant monitoring. [states] warm-starts
       from a previous run.
 
-      Defaults: synchronous scheduler, perfect channel, 10000 rounds max,
-      one quiet round, no churn. *)
+      Randomness is split into two disjoint families. The supplied
+      generator drives only the per-round plan evaluation — churn events,
+      fault hooks, [Join] re-initializations, [Corrupt] scrambles — which
+      every mode performs identically. Everything inside the round is
+      {e counter-keyed} off a base key drawn once at entry: channel loss
+      is a pure function of (key, round, src, dst), the random-order
+      daemon's permutation of (key, round), and each node's [handle]
+      generator of (key, round, node). Skipping a node therefore cannot
+      shift any other consumer's stream, which is what makes
+      [~mode:Sparse] bit-equivalent to [Dense] on every channel and
+      scheduler.
+
+      Sparse mode additionally relies on the [fault] hook reporting every
+      node it mutated (an unreported mutation would change an emission
+      behind the dirty-set's back), and on the protocol honoring the
+      {!Protocol.S} step-input contract.
+
+      Defaults: dense mode, synchronous scheduler, perfect channel, 10000
+      rounds max, one quiet round, no churn. *)
 end

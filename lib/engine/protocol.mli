@@ -1,0 +1,75 @@
+(** The protocol interface executed by {!Engine}.
+
+    The execution model of Section 4: every node repeatedly evaluates its
+    guarded assignments; shared variables are broadcast each step and
+    cached by neighbors. A protocol packages the per-node state, the frame
+    it broadcasts each step, and the guarded-assignment body run on
+    reception.
+
+    {2 Step-input determinism (the sparse-execution contract)}
+
+    The engine's sparse mode ({!Engine.Make.run} with [~mode:Sparse])
+    skips a node's step whenever its {e step input} — the multiset of
+    (sender, frame) pairs delivered to it, plus its own state and
+    adjacency row — is unchanged since the last step it executed, and the
+    node is not "warm" (see below). For skipping to be unobservable, every
+    implementation must satisfy, beyond the purity already required:
+
+    - [handle] must be a function of the generator, the node's own
+      adjacency in the given graph, its state, and the received frames
+      only — no hidden inputs (wall clock, global counters, other nodes'
+      rows).
+    - [emit] must be a function of the node index and state only; the
+      graph argument is provided for convenience but {e must not}
+      influence the frame (otherwise a remote topology event could change
+      an emission the sparse engine considers unchanged).
+    - [handle] at an input fixpoint must be output-stable: re-running it
+      with an unchanged input must leave every field observed by
+      [equal_state] and every field observable through [emit] unchanged,
+      and must consume no draws from the generator. Bookkeeping that
+      advances uniformly (local clocks, cache freshness stamps) may still
+      change, provided its only observable effect is {e time-based} and
+      declared through the warm hook: a state with pending time-based
+      behavior (for {!Ss_cluster.Distributed}, any cache entry not
+      refreshed at the last executed step, which will expire after the
+      TTL) must report warm so the engine keeps stepping it until the
+      pending behavior has drained.
+    - [message] must be plain structural data (no functions, no cycles):
+      the sparse engine compares emissions structurally to decide which
+      neighbors a step disturbed.
+
+    Every protocol in this repository satisfies the contract; the
+    differential battery in [test/suite_sparse.ml] checks sparse ≡ dense
+    over random graphs, channels, schedulers and churn plans. *)
+
+module type S = sig
+  type state
+
+  type message
+
+  val init : Ss_prng.Rng.t -> Ss_topology.Graph.t -> int -> state
+  (** Initial state of a node (may be arbitrary for self-stabilization
+      experiments; protocols must not rely on it being clean). *)
+
+  val emit : Ss_topology.Graph.t -> int -> state -> message
+  (** The frame locally broadcast by the node in each step — the values of
+      its shared variables. Must depend on the node and state only (see
+      the sparse-execution contract above). *)
+
+  val handle :
+    Ss_prng.Rng.t ->
+    Ss_topology.Graph.t ->
+    int ->
+    state ->
+    (int * message) list ->
+    state
+  (** One step: execute all enabled guarded assignments given the frames
+      received this step (sender id paired with each frame). Must be a pure
+      function of its arguments plus the supplied generator, and
+      output-stable at input fixpoints (see above). *)
+
+  val equal_state : state -> state -> bool
+  (** Used for fixpoint detection. May ignore bookkeeping fields (clocks,
+      freshness stamps) whose evolution is declared through the engine's
+      warm hook. *)
+end

@@ -147,14 +147,20 @@ type success = {
 
 type outcome = Run_ok of success | Run_failed of string
 
-let run_one rng ~spec ~max_rounds ~burst_round cell =
+(* Same contract as {!Exp_churn.mode}: sparse rows are bit-identical to
+   dense ones, the flag only buys wall-clock on large sweeps. *)
+let mode ~sparse =
+  if sparse then E.Sparse { warm = Some Distributed.pending_expiry }
+  else E.Dense
+
+let run_one rng ~sparse ~spec ~max_rounds ~burst_round cell =
   let world = Scenario.build rng spec in
   let graph = world.Scenario.graph in
   let ids = Array.init (Graph.node_count graph) Fun.id in
   let monitor = Invariants.monitor ~config ~ids () in
   let result =
-    E.run ~scheduler:cell.c_scheduler ~channel:cell.c_channel ~quiet_rounds
-      ~max_rounds
+    E.run ~mode:(mode ~sparse) ~scheduler:cell.c_scheduler
+      ~channel:cell.c_channel ~quiet_rounds ~max_rounds
       ~churn:(plan ~burst_round cell)
       ~corrupt:Distributed.corrupt
       ~on_round:(Monitor.on_round monitor)
@@ -174,11 +180,11 @@ let run_one rng ~spec ~max_rounds ~burst_round cell =
       | None -> 0);
   }
 
-let run_cell ?domains ~seed ~runs ~spec ~max_rounds ~burst_round cell =
+let run_cell ?domains ~seed ~runs ~sparse ~spec ~max_rounds ~burst_round cell =
   let outcomes =
     Runner.replicate ?domains ~seed ~runs (fun ~run rng ->
         ignore run;
-        match run_one rng ~spec ~max_rounds ~burst_round cell with
+        match run_one rng ~sparse ~spec ~max_rounds ~burst_round cell with
         | ok -> Run_ok ok
         | exception e -> Run_failed (Printexc.to_string e))
   in
@@ -238,11 +244,11 @@ let run_cell ?domains ~seed ~runs ~spec ~max_rounds ~burst_round cell =
     bad = List.rev !bad;
   }
 
-let run ?(seed = 42) ?(runs = 4) ?domains ?(spec = default_spec)
-    ?(grid = default_grid) ?(max_rounds = 1_500)
+let run ?(seed = 42) ?(runs = 4) ?domains ?(sparse = false)
+    ?(spec = default_spec) ?(grid = default_grid) ?(max_rounds = 1_500)
     ?(burst_round = default_burst_round) () =
   List.map
-    (run_cell ?domains ~seed ~runs ~spec ~max_rounds ~burst_round)
+    (run_cell ?domains ~seed ~runs ~sparse ~spec ~max_rounds ~burst_round)
     (cells grid)
 
 let to_table ?(title = "Campaign — worst case per fault-grid cell") rows =
@@ -280,8 +286,11 @@ let to_table ?(title = "Campaign — worst case per fault-grid cell") rows =
            ])
        rows)
 
-let print ?seed ?runs ?domains ?spec ?grid ?max_rounds ?burst_round () =
-  let rows = run ?seed ?runs ?domains ?spec ?grid ?max_rounds ?burst_round () in
+let print ?seed ?runs ?domains ?sparse ?spec ?grid ?max_rounds ?burst_round ()
+    =
+  let rows =
+    run ?seed ?runs ?domains ?sparse ?spec ?grid ?max_rounds ?burst_round ()
+  in
   Table.print (to_table rows);
   let worst =
     List.fold_left (fun acc r -> max acc r.max_dwell) 0 rows

@@ -68,6 +68,7 @@ val run_cell :
   ?domains:int ->
   seed:int ->
   runs:int ->
+  sparse:bool ->
   spec:Scenario.spec ->
   max_rounds:int ->
   burst_round:int ->
@@ -78,12 +79,16 @@ val run :
   ?seed:int ->
   ?runs:int ->
   ?domains:int ->
+  ?sparse:bool ->
   ?spec:Scenario.spec ->
   ?grid:grid ->
   ?max_rounds:int ->
   ?burst_round:int ->
   unit ->
   row list
+(** [sparse] (default false) switches the engine to dirty-set execution
+    with the {!Ss_cluster.Distributed.pending_expiry} warm hook; rows are
+    bit-identical to the dense walk, only faster on large grids. *)
 
 val to_table : ?title:string -> row list -> Ss_stats.Table.t
 (** The worst-case table: per cell, convergence/classification counts, max
@@ -94,6 +99,7 @@ val print :
   ?seed:int ->
   ?runs:int ->
   ?domains:int ->
+  ?sparse:bool ->
   ?spec:Scenario.spec ->
   ?grid:grid ->
   ?max_rounds:int ->

@@ -107,7 +107,15 @@ type run_outcome = {
   run_legitimate : bool;
 }
 
-let measure ?domains ~seed ~runs ~spec ~max_rounds scheduler storm =
+(* The sparse executor is observationally identical to the dense one (the
+   differential battery in test/suite_sparse.ml is the proof), so rows are
+   the same either way; the flag exists to speed up large sweeps and to
+   cross-check the equivalence at experiment scale. *)
+let mode ~sparse =
+  if sparse then E.Sparse { warm = Some Distributed.pending_expiry }
+  else E.Dense
+
+let measure ?domains ~seed ~runs ~sparse ~spec ~max_rounds scheduler storm =
   let outcomes =
     Runner.replicate ?domains ~seed ~runs (fun ~run rng ->
         ignore run;
@@ -116,7 +124,7 @@ let measure ?domains ~seed ~runs ~spec ~max_rounds scheduler storm =
         let ghosts = ref 0 in
         let events = Counter.create () in
         let result =
-          E.run ~scheduler ~quiet_rounds ~max_rounds
+          E.run ~mode:(mode ~sparse) ~scheduler ~quiet_rounds ~max_rounds
             ~churn:(plan_of_storm storm) ~corrupt:Distributed.corrupt
             ~on_event:(fun ~round:_ ev ->
               Counter.incr events (Churn.event_label ev))
@@ -181,12 +189,14 @@ let default_spec = Scenario.poisson ~intensity:300.0 ~radius:0.1 ()
 
 let default_schedulers = [ Scheduler.Synchronous; Scheduler.Random_order ]
 
-let run ?(seed = 42) ?(runs = 5) ?domains ?(spec = default_spec)
-    ?(schedulers = default_schedulers) ?(storms = default_storms)
-    ?(max_rounds = 2_000) () =
+let run ?(seed = 42) ?(runs = 5) ?domains ?(sparse = false)
+    ?(spec = default_spec) ?(schedulers = default_schedulers)
+    ?(storms = default_storms) ?(max_rounds = 2_000) () =
   List.concat_map
     (fun scheduler ->
-      List.map (measure ?domains ~seed ~runs ~spec ~max_rounds scheduler) storms)
+      List.map
+        (measure ?domains ~seed ~runs ~sparse ~spec ~max_rounds scheduler)
+        storms)
     schedulers
 
 let to_table ?(title = "Churn — in-place recovery from topology events") rows =
@@ -233,7 +243,10 @@ let events_table ?(title = "Churn — applied events by type") rows =
          ])
        rows)
 
-let print ?seed ?runs ?domains ?spec ?schedulers ?storms ?max_rounds () =
-  let rows = run ?seed ?runs ?domains ?spec ?schedulers ?storms ?max_rounds () in
+let print ?seed ?runs ?domains ?sparse ?spec ?schedulers ?storms ?max_rounds ()
+    =
+  let rows =
+    run ?seed ?runs ?domains ?sparse ?spec ?schedulers ?storms ?max_rounds ()
+  in
   Table.print (to_table rows);
   Table.print (events_table rows)

@@ -42,12 +42,17 @@ val run :
   ?seed:int ->
   ?runs:int ->
   ?domains:int ->
+  ?sparse:bool ->
   ?spec:Scenario.spec ->
   ?schedulers:Ss_engine.Scheduler.t list ->
   ?storms:storm list ->
   ?max_rounds:int ->
   unit ->
   row list
+(** [sparse] (default false) switches the engine to dirty-set execution
+    with the {!Ss_cluster.Distributed.pending_expiry} warm hook. Rows are
+    bit-identical to the dense walk (the sparse differential battery is
+    the contract); the flag trades nothing but wall-clock. *)
 
 val to_table : ?title:string -> row list -> Ss_stats.Table.t
 
@@ -57,6 +62,7 @@ val print :
   ?seed:int ->
   ?runs:int ->
   ?domains:int ->
+  ?sparse:bool ->
   ?spec:Scenario.spec ->
   ?schedulers:Ss_engine.Scheduler.t list ->
   ?storms:storm list ->

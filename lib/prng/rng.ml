@@ -12,6 +12,32 @@ let split_n t n =
   if n < 0 then invalid_arg "Rng.split_n: negative count";
   Array.init n (fun _ -> Splitmix64.split t)
 
+(* Counter-based (stateless) keyed streams. A key deterministically names a
+   point in seed space; [subkey] derives children by index through the
+   SplitMix64 finalizer, so a draw keyed by (seed, i, j, ...) is a pure
+   function of the path — independent of how many draws happened elsewhere.
+   This is what lets the sparse executor skip work without perturbing any
+   other consumer's stream. *)
+
+type key = int64
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let key ~seed = Splitmix64.mix64 (Int64.of_int seed)
+
+let key_of t = Splitmix64.next_int64 t
+
+let subkey k i =
+  Splitmix64.mix64
+    (Int64.logxor k (Int64.mul (Int64.of_int (i + 1)) golden_gamma))
+
+let of_key k = Splitmix64.create k
+
+let key_unit k = Splitmix64.bits53 (of_key k)
+
+let key_bernoulli k p =
+  if p <= 0.0 then false else if p >= 1.0 then true else key_unit k < p
+
 let float t bound =
   if bound < 0.0 then invalid_arg "Rng.float: negative bound";
   Splitmix64.bits53 t *. bound
@@ -32,6 +58,8 @@ let int t bound =
     if v < bound then v else draw ()
   in
   draw ()
+
+let key_int k bound = int (of_key k) bound
 
 let int_in_range t ~lo ~hi =
   if lo > hi then invalid_arg "Rng.int_in_range: empty range";

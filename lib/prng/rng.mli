@@ -21,6 +21,42 @@ val split : t -> t
 val split_n : t -> int -> t array
 (** [split_n t n] is an array of [n] independent child generators. *)
 
+(** {1 Counter-based keyed streams}
+
+    A {!key} deterministically names a point in seed space. Children are
+    derived by index ({!subkey}), so a value drawn from the key path
+    [(seed, i, j, ...)] is a pure function of that path — independent of
+    the order, number or presence of draws on any other path. Use these
+    wherever a consumer must get the same randomness whether or not other
+    consumers ran (per-edge channel loss, per-node protocol streams under
+    sparse execution). *)
+
+type key = int64
+
+val key : seed:int -> key
+(** Root key from an integer seed (finalizer-mixed, so small seeds spread
+    over the whole space). *)
+
+val key_of : t -> key
+(** Draw a root key from a generator; advances it once. *)
+
+val subkey : key -> int -> key
+(** [subkey k i] is the [i]-th child of [k]; chains freely. *)
+
+val of_key : key -> t
+(** A fresh sequential generator rooted at the key (for consumers that
+    need several draws from one path). *)
+
+val key_unit : key -> float
+(** One-shot uniform in [0, 1) from the key; stateless. *)
+
+val key_bernoulli : key -> float -> bool
+(** One-shot Bernoulli from the key; stateless. *)
+
+val key_int : key -> int -> int
+(** One-shot uniform in [0, bound-1] from the key (rejection-sampled, so
+    exactly uniform). Raises [Invalid_argument] if [bound <= 0]. *)
+
 val unit : t -> float
 (** Uniform in [0, 1). *)
 

@@ -19,6 +19,12 @@ val copy : t -> t
 val next_int64 : t -> int64
 (** Next raw 64-bit output; advances the state. *)
 
+val mix64 : int64 -> int64
+(** The stateless murmur-style finalizer (mix13 variant) behind
+    {!next_int64}: a bijective avalanche of the 64-bit input. Exposed so
+    counter-based (stateless) streams can be keyed without threading a
+    mutable generator — see {!Rng.subkey}. *)
+
 val split : t -> t
 (** [split t] advances [t] once and returns a child generator whose stream is
     statistically independent of [t]'s subsequent outputs. *)

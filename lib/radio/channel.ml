@@ -10,7 +10,16 @@
    loses a frame when it is itself transmitting in that slot or when
    another of its radio neighbors picked the same slot (a collision at the
    receiver, hidden terminals included since contention is evaluated in the
-   receiver's neighborhood). *)
+   receiver's neighborhood).
+
+   All sampling is counter-keyed: every loss decision is a pure function of
+   (round key, src, dst) and every slot draw of (round key, node), through
+   Rng.subkey / Rng.key_* only — never a sequential draw from a shared
+   generator. This makes the delivery pattern independent of which pairs
+   are queried and in what order, which is what lets the sparse executor
+   skip quiet nodes without perturbing anyone's losses, and lets any
+   round's plan be re-evaluated after the fact (the previous round's plan
+   is reconstructible from its key). *)
 
 module Graph = Ss_topology.Graph
 module Rng = Ss_prng.Rng
@@ -48,10 +57,21 @@ let tau = function
          realized rate below this. *)
       float_of_int (slots - 1) /. float_of_int slots
 
-let round_plan t rng ~graph =
+let deterministic = function
+  | Perfect -> true
+  | Bernoulli _ | Jammed _ | Slotted _ -> false
+
+(* Key lanes. Per-edge decisions live under (key, src, dst); per-node slot
+   draws under (key, node). The two never coexist within one channel kind,
+   but distinct lane tags keep them disjoint anyway. *)
+let edge_key key ~src ~dst = Rng.subkey (Rng.subkey (Rng.subkey key 0) src) dst
+let slot_key key node = Rng.subkey (Rng.subkey key 1) node
+
+let round_plan t ~key ~graph =
   match t with
   | Perfect -> fun ~src:_ ~dst:_ -> true
-  | Bernoulli tau -> fun ~src:_ ~dst:_ -> Rng.bernoulli rng tau
+  | Bernoulli tau ->
+      fun ~src ~dst -> Rng.key_bernoulli (edge_key key ~src ~dst) tau
   | Jammed { tau; region; jam_tau } ->
       (* A jammed region is meaningless on a graph without geometry; a
          silent fallback to plain [tau] would make the jam a no-op, so the
@@ -62,19 +82,31 @@ let round_plan t rng ~graph =
             "Channel.round_plan: Jammed channel needs node positions \
              (build the graph with ~positions)"
       | Some pos ->
-          fun ~src:_ ~dst ->
+          fun ~src ~dst ->
             let effective =
               if Ss_geom.Bbox.contains region pos.(dst) then jam_tau else tau
             in
-            Rng.bernoulli rng effective)
+            Rng.key_bernoulli (edge_key key ~src ~dst) effective)
   | Slotted { slots } ->
-      let slot =
-        Array.init (Graph.node_count graph) (fun _ -> Rng.int rng slots)
+      (* Slot assignments are memoized per plan: repeated queries cost
+         O(deg dst) collision checks, not a key derivation per neighbor
+         each time. A slot is still a pure function of (key, node), so
+         partial queries agree with full ones. *)
+      let n = Graph.node_count graph in
+      let slot_memo = Array.make n (-1) in
+      let slot p =
+        let s = slot_memo.(p) in
+        if s >= 0 then s
+        else begin
+          let s = Rng.key_int (slot_key key p) slots in
+          slot_memo.(p) <- s;
+          s
+        end
       in
       fun ~src ~dst ->
-        slot.(dst) <> slot.(src)
+        slot dst <> slot src
         && Array.for_all
-             (fun r -> r = src || slot.(r) <> slot.(src))
+             (fun r -> r = src || slot r <> slot src)
              (Graph.neighbors graph dst)
 
 let pp ppf = function

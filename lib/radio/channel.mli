@@ -5,7 +5,15 @@
     τ, independently per frame — plus an explicit slotted-contention model
     from which τ emerges rather than being assumed. One engine round is the
     paper's Δ(τ) window: every node broadcasts once and each neighbor
-    independently receives or loses the frame. *)
+    independently receives or loses the frame.
+
+    Sampling is {e counter-keyed}: a round's plan is built from an
+    {!Ss_prng.Rng.key} and every loss decision is a pure function of
+    (key, src, dst) — per-node slot draws of (key, node) — so the delivery
+    pattern does not depend on which pairs are queried, in what order, or
+    whether any pair is queried at all. Consequently sparse and dense
+    executions of the same run see bit-identical losses, and any past
+    round's plan can be re-evaluated from its key. *)
 
 type t
 
@@ -40,14 +48,27 @@ val tau : t -> float
     depends on local degrees and every further contending neighbor pushes
     it lower. *)
 
+val deterministic : t -> bool
+(** True when the plan is the same every round ([perfect] — note that
+    [bernoulli 1.0] normalizes to it). The sparse executor uses this to
+    skip per-edge delivery-diff checks on channels that cannot change a
+    node's inputs between rounds. *)
+
 val round_plan :
-  t -> Ss_prng.Rng.t -> graph:Ss_topology.Graph.t -> src:int -> dst:int -> bool
-(** [round_plan t rng ~graph] draws one Δ(τ) window's delivery function.
-    Call once per round and query it for every (sender, 1-neighbor) pair of
-    that round — [Slotted] draws the slot assignment at plan time, so all
-    queries within a round see consistent collisions. Do {e not} build a
-    fresh plan per query: that re-rolls the slot assignment, breaking the
-    within-window consistency contract and costing O(n) per call (there is
-    deliberately no one-shot [delivers] helper). *)
+  t ->
+  key:Ss_prng.Rng.key ->
+  graph:Ss_topology.Graph.t ->
+  src:int ->
+  dst:int ->
+  bool
+(** [round_plan t ~key ~graph] builds one Δ(τ) window's delivery function
+    from the round's key (derive it as a [subkey] of the run's base key by
+    round number). Query it for any (sender, 1-neighbor) pair of that
+    round; answers are consistent within the plan and independent of query
+    order or coverage — [Slotted] memoizes its slot assignment per plan,
+    so all queries within a round see consistent collisions. Rebuilding a
+    plan from the same key replays the identical window (this is how the
+    sparse executor diffs a round's deliveries against the previous
+    round's without storing them). *)
 
 val pp : t Fmt.t

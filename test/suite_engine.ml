@@ -190,22 +190,23 @@ let test_fault_count_clamped () =
 
 (* -------------------------------------------------------------- Channel *)
 
+(* Keyed plans: one key per simulated round, derived positionally. *)
+let round_key i = Rng.subkey (Rng.key ~seed:90) i
+
 let test_channel_perfect () =
   let g = Builders.path 2 in
-  let r = rng () in
-  for _ = 1 to 100 do
-    let plan = Channel.round_plan Channel.perfect r ~graph:g in
+  for i = 1 to 100 do
+    let plan = Channel.round_plan Channel.perfect ~key:(round_key i) ~graph:g in
     Alcotest.(check bool) "always delivers" true (plan ~src:0 ~dst:1)
   done
 
 let test_channel_bernoulli_rate () =
   let g = Builders.path 2 in
-  let r = rng () in
   let channel = Channel.bernoulli 0.7 in
   let hits = ref 0 in
   let draws = 20_000 in
-  for _ = 1 to draws do
-    let plan = Channel.round_plan channel r ~graph:g in
+  for i = 1 to draws do
+    let plan = Channel.round_plan channel ~key:(round_key i) ~graph:g in
     if plan ~src:0 ~dst:1 then incr hits
   done;
   let rate = float_of_int !hits /. float_of_int draws in
@@ -222,21 +223,27 @@ let test_channel_slotted_consistency () =
      another neighbor of p, the frame q->p is lost; re-querying the same
      plan gives the same answer. *)
   let g = Builders.complete 5 in
-  let r = rng () in
   let channel = Channel.slotted ~slots:4 in
-  for _ = 1 to 50 do
-    let plan = Channel.round_plan channel r ~graph:g in
+  for i = 1 to 50 do
+    let plan = Channel.round_plan channel ~key:(round_key i) ~graph:g in
     Graph.iter_edges g (fun p q ->
         Alcotest.(check bool) "stable within plan" (plan ~src:q ~dst:p)
-          (plan ~src:q ~dst:p))
+          (plan ~src:q ~dst:p));
+    (* Counter-keying: rebuilding the plan from the same key replays the
+       identical window, regardless of query order or coverage. *)
+    let replay = Channel.round_plan channel ~key:(round_key i) ~graph:g in
+    Graph.iter_edges g (fun p q ->
+        Alcotest.(check bool) "replayable from key" (plan ~src:q ~dst:p)
+          (replay ~src:q ~dst:p))
   done
 
 let test_channel_slotted_single_slot_blocks_everything () =
   (* One slot: every transmission collides with every other; on a graph
      where each receiver has another neighbor, nothing gets through. *)
   let g = Builders.complete 4 in
-  let r = rng () in
-  let plan = Channel.round_plan (Channel.slotted ~slots:1) r ~graph:g in
+  let plan =
+    Channel.round_plan (Channel.slotted ~slots:1) ~key:(round_key 1) ~graph:g
+  in
   Graph.iter_edges g (fun p q ->
       Alcotest.(check bool) "all collide" false (plan ~src:q ~dst:p))
 
@@ -244,12 +251,11 @@ let test_channel_slotted_pair_delivery_rate () =
   (* Two nodes, S slots: the only loss is the half-duplex clash, so the
      delivery rate is (S-1)/S. *)
   let g = Builders.path 2 in
-  let r = rng () in
   let channel = Channel.slotted ~slots:4 in
   let hits = ref 0 in
   let draws = 20_000 in
-  for _ = 1 to draws do
-    let plan = Channel.round_plan channel r ~graph:g in
+  for i = 1 to draws do
+    let plan = Channel.round_plan channel ~key:(round_key i) ~graph:g in
     if plan ~src:0 ~dst:1 then incr hits
   done;
   let rate = float_of_int !hits /. float_of_int draws in
@@ -258,11 +264,10 @@ let test_channel_slotted_pair_delivery_rate () =
 let test_channel_slotted_more_slots_better () =
   let g = Builders.complete 8 in
   let rate slots =
-    let r = rng () in
     let channel = Channel.slotted ~slots in
     let hits = ref 0 and total = ref 0 in
-    for _ = 1 to 2000 do
-      let plan = Channel.round_plan channel r ~graph:g in
+    for i = 1 to 2000 do
+      let plan = Channel.round_plan channel ~key:(round_key (slots + (8 * i))) ~graph:g in
       Graph.iter_edges g (fun p q ->
           incr total;
           if plan ~src:q ~dst:p then incr hits)
@@ -324,8 +329,7 @@ let test_channel_jammed () =
     Ss_geom.Bbox.make ~min_x:0.5 ~min_y:0.5 ~max_x:1.0 ~max_y:1.0
   in
   let channel = Channel.jammed ~tau:1.0 ~region ~jam_tau:0.0 in
-  let r = rng () in
-  let plan = Channel.round_plan channel r ~graph:g in
+  let plan = Channel.round_plan channel ~key:(round_key 1) ~graph:g in
   Alcotest.(check bool) "outside region receives" true (plan ~src:1 ~dst:0);
   Alcotest.(check bool) "inside region jammed" false (plan ~src:0 ~dst:1)
 
@@ -342,7 +346,140 @@ let test_channel_jammed_needs_positions () =
     (Invalid_argument
        "Channel.round_plan: Jammed channel needs node positions (build the \
         graph with ~positions)") (fun () ->
-      ignore (Channel.round_plan channel (rng ()) ~graph:g ~src:0 ~dst:1 : bool))
+      ignore
+        (Channel.round_plan channel ~key:(round_key 1) ~graph:g ~src:0 ~dst:1
+          : bool))
+
+(* ----------------------------------------- per-edge channel statistics *)
+
+(* Aggregate rates (above) can hide a biased edge — a key-derivation bug
+   correlating src and dst would skew individual streams while the mean
+   stays on target. Standardize every directed edge's delivery count and
+   bound the chi-square-style sum: a single stuck or heavily biased edge
+   contributes thousands, while an honest sample at these fixed seeds sits
+   near the degrees-of-freedom count. The per-edge deviation bound pins
+   each stream individually. *)
+let per_edge_counts ~seed ~rounds ~graph ~channel =
+  let n = Graph.node_count graph in
+  let counts = Array.make_matrix n n 0 in
+  let base = Rng.key ~seed in
+  for i = 1 to rounds do
+    let plan = Channel.round_plan channel ~key:(Rng.subkey base i) ~graph in
+    Graph.iter_edges graph (fun p q ->
+        if plan ~src:q ~dst:p then counts.(q).(p) <- counts.(q).(p) + 1;
+        if plan ~src:p ~dst:q then counts.(p).(q) <- counts.(p).(q) + 1)
+  done;
+  counts
+
+let check_per_edge ~name ~rounds ~p_expect ~graph counts =
+  let r = float_of_int rounds in
+  let sigma = sqrt (p_expect *. (1.0 -. p_expect) /. r) in
+  let chi2 = ref 0.0 in
+  let df = ref 0 in
+  Graph.iter_edges graph (fun p q ->
+      List.iter
+        (fun (src, dst) ->
+          let rate = float_of_int counts.(src).(dst) /. r in
+          let z = (rate -. p_expect) /. sigma in
+          chi2 := !chi2 +. (z *. z);
+          incr df;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s edge %d->%d rate %.4f near %.4f" name src dst
+               rate p_expect)
+            true
+            (Float.abs (rate -. p_expect) < 6.0 *. sigma))
+        [ (p, q); (q, p) ]);
+  let df = float_of_int !df in
+  (* 5-sigma band around the chi-square mean (variance 2*df for
+     independent edges; slotted edges correlate through shared slot draws,
+     which the generous band absorbs). Both sides checked: a too-small
+     statistic means the per-edge streams are not independent draws. *)
+  let slack = 5.0 *. sqrt (2.0 *. df) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s chi2 %.1f within %.1f +/- %.1f" name !chi2 df slack)
+    true
+    (Float.abs (!chi2 -. df) < slack)
+
+let test_channel_bernoulli_per_edge_rates () =
+  let g = Builders.complete 8 in
+  let tau = 0.6 in
+  let rounds = 4000 in
+  let counts =
+    per_edge_counts ~seed:77 ~rounds ~graph:g ~channel:(Channel.bernoulli tau)
+  in
+  check_per_edge ~name:"bernoulli" ~rounds ~p_expect:tau ~graph:g counts
+
+let test_channel_slotted_per_edge_rates () =
+  (* On a cycle every receiver has exactly two neighbors, so delivery needs
+     the receiver and its other neighbor both off the sender's slot:
+     p = ((m-1)/m)^2, identical for every directed edge. *)
+  let g = Builders.cycle 10 in
+  let slots = 4 in
+  let p_expect =
+    let q = float_of_int (slots - 1) /. float_of_int slots in
+    q *. q
+  in
+  let rounds = 4000 in
+  let counts =
+    per_edge_counts ~seed:78 ~rounds ~graph:g
+      ~channel:(Channel.slotted ~slots)
+  in
+  check_per_edge ~name:"slotted" ~rounds ~p_expect ~graph:g counts
+
+(* ---------------------------------------------------- scheduler coverage *)
+
+module Distributed = Ss_cluster.Distributed
+module Config = Ss_cluster.Config
+module Legitimacy = Ss_cluster.Legitimacy
+module P_dist = Distributed.Make (struct
+  let params = Distributed.default_params
+end)
+
+module ED = Engine.Make (P_dist)
+
+let all_schedulers =
+  [ Scheduler.Synchronous; Scheduler.Sequential; Scheduler.Random_order ]
+
+let test_schedulers_converge_distributed () =
+  (* Every daemon variant must drive the full protocol stack to a
+     legitimate configuration; only the synchronous one was exercised
+     against [Distributed] before. *)
+  let g = Builders.geometric_grid ~cols:5 ~rows:5 ~radius:0.3 in
+  let ids = Array.init (Graph.node_count g) Fun.id in
+  let quiet = Distributed.default_params.Distributed.cache_ttl + 2 in
+  List.iter
+    (fun sched ->
+      let name = Fmt.str "%a" Scheduler.pp sched in
+      let result =
+        ED.run ~scheduler:sched ~quiet_rounds:quiet ~max_rounds:2000
+          (Rng.create ~seed:31) g
+      in
+      Alcotest.(check bool) (name ^ ": converged") true result.ED.converged;
+      let assignment = Distributed.to_assignment result.ED.states in
+      Alcotest.(check bool)
+        (name ^ ": legitimate")
+        true
+        (Legitimacy.is_legitimate Config.basic result.ED.graph ~ids assignment))
+    all_schedulers
+
+let test_schedulers_domain_identity () =
+  (* The churn pipeline must reproduce its sequential aggregation bit for
+     bit on a 4-domain pool under every daemon variant, not just the
+     synchronous one the regression goldens pin. *)
+  let spec = Ss_experiments.Scenario.poisson ~intensity:40.0 ~radius:0.2 () in
+  List.iter
+    (fun sched ->
+      let run domains =
+        Ss_experiments.Exp_churn.run ~seed:11 ~runs:2 ~domains ~spec
+          ~schedulers:[ sched ]
+          ~storms:[ Ss_experiments.Exp_churn.Crash_recover ]
+          ()
+      in
+      Alcotest.(check bool)
+        (Fmt.str "%a: 1 domain = 4 domains" Scheduler.pp sched)
+        true
+        (compare (run 1) (run 4) = 0))
+    all_schedulers
 
 let suite =
   [
@@ -386,4 +523,12 @@ let suite =
       test_fault_hook_silent_outside_schedule;
     Alcotest.test_case "floodmax under a jammed region" `Quick
       test_floodmax_under_jammed_channel;
+    Alcotest.test_case "bernoulli per-edge rates (chi-square)" `Slow
+      test_channel_bernoulli_per_edge_rates;
+    Alcotest.test_case "slotted per-edge rates (chi-square)" `Slow
+      test_channel_slotted_per_edge_rates;
+    Alcotest.test_case "all schedulers converge distributed" `Slow
+      test_schedulers_converge_distributed;
+    Alcotest.test_case "scheduler domain identity" `Slow
+      test_schedulers_domain_identity;
   ]

@@ -93,7 +93,12 @@ let test_maxmin_run () =
 
 (* Pinned experiment pipelines, exercised sequentially and again on a
    multi-domain pool: the exact float equality proves the parallel runner
-   reproduces the sequential aggregation bit for bit. *)
+   reproduces the sequential aggregation bit for bit.
+
+   Values re-pinned when the engine moved channel loss, the random-order
+   daemon and per-node handle generators onto counter-keyed streams (the
+   sparse-execution determinism contract): the same distributions, drawn
+   from per-(round, node) keys instead of one shared sequential stream. *)
 
 let check_selfstab_golden ~domains =
   let spec = E.Scenario.poisson ~intensity:80.0 ~radius:0.15 () in
@@ -107,11 +112,11 @@ let check_selfstab_golden ~domains =
       Alcotest.(check int) "identical fixpoints" 3
         r.E.Exp_selfstab.identical_result;
       Alcotest.(check int) "rounds count" 3 (Summary.count rounds);
-      Alcotest.(check (float 0.0)) "rounds mean" 5.666666666666667
+      Alcotest.(check (float 0.0)) "rounds mean" 5.333333333333333
         (Summary.mean rounds);
-      Alcotest.(check (float 0.0)) "rounds stddev" 1.1547005383792517
+      Alcotest.(check (float 0.0)) "rounds stddev" 1.5275252316519465
         (Summary.stddev rounds);
-      Alcotest.(check (float 0.0)) "rounds min" 5.0 (Summary.minimum rounds);
+      Alcotest.(check (float 0.0)) "rounds min" 4.0 (Summary.minimum rounds);
       Alcotest.(check (float 0.0)) "rounds max" 7.0 (Summary.maximum rounds)
   | _ -> Alcotest.fail "expected exactly one recovery row"
 
@@ -128,9 +133,9 @@ let check_churn_golden ~domains =
       Alcotest.(check int) "recovered" 4 r.E.Exp_churn.recovered;
       Alcotest.(check int) "recovery count" 4
         (Summary.count r.E.Exp_churn.recovery);
-      Alcotest.(check (float 0.0)) "recovery mean" 8.0
+      Alcotest.(check (float 0.0)) "recovery mean" 7.25
         (Summary.mean r.E.Exp_churn.recovery);
-      Alcotest.(check (float 0.0)) "peak ghosts mean" 125.5
+      Alcotest.(check (float 0.0)) "peak ghosts mean" 115.0
         (Summary.mean r.E.Exp_churn.peak_ghosts);
       Alcotest.(check int) "legitimate" 2 r.E.Exp_churn.legitimate;
       Alcotest.(check int) "converged" 2 r.E.Exp_churn.converged;

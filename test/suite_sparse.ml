@@ -1,0 +1,189 @@
+(* The sparse executor's proof obligation: a differential battery pitting
+   [~mode:sparse] against the dense reference walk over random
+   (graph x channel x scheduler x churn plan x cache TTL) cases, on the
+   full protocol stack. The two runs must agree on every observable —
+   final states modulo [equal_state], round count, stabilization round,
+   per-round change history, burst/recovery attribution and fault
+   reports. Counter-keyed in-round randomness makes the comparison
+   bit-exact even on lossy and slotted channels; any frontier-rule bug
+   (an under-marked node whose input changed behind the dirty-set's
+   back) shows up as a divergence, and QCheck shrinks the plan to a
+   minimal counterexample. *)
+
+module Graph = Ss_topology.Graph
+module Builders = Ss_topology.Builders
+module Bbox = Ss_geom.Bbox
+module Channel = Ss_radio.Channel
+module Scheduler = Ss_engine.Scheduler
+module Churn = Ss_engine.Churn
+module Engine = Ss_engine.Engine
+module Distributed = Ss_cluster.Distributed
+module Rng = Ss_prng.Rng
+
+type case = {
+  seed : int;
+  graph_kind : int;  (* 0 path / 1 cycle / 2 complete / 3 gnp / 4 geo grid *)
+  size : int;
+  channel_kind : int;  (* 0 perfect / 1 bernoulli / 2 jammed / 3 slotted *)
+  sched_kind : int;  (* 0 synchronous / 1 sequential / 2 random order *)
+  ttl : int;
+  plan : (int * int * int) list;  (* (round, event kind, victim) *)
+}
+
+(* The jammed channel needs node positions, so it forces the geometric
+   grid regardless of [graph_kind]. *)
+let build_graph c =
+  let size = max 4 c.size in
+  let kind = if c.channel_kind = 2 then 4 else c.graph_kind in
+  match kind with
+  | 0 -> Builders.path size
+  | 1 -> Builders.cycle size
+  | 2 -> Builders.complete (min size 10)
+  | 3 -> Builders.gnp (Rng.create ~seed:(c.seed + 1)) ~n:size ~p:0.25
+  | _ ->
+      Builders.geometric_grid ~cols:4 ~rows:(max 2 (size / 4)) ~radius:0.45
+
+let jam_region =
+  Bbox.make ~min_x:0.2 ~min_y:0.2 ~max_x:0.8 ~max_y:0.8
+
+let build_channel c =
+  match c.channel_kind with
+  | 0 -> Channel.perfect
+  | 1 -> Channel.bernoulli 0.7
+  | 2 -> Channel.jammed ~tau:0.9 ~region:jam_region ~jam_tau:0.3
+  | _ -> Channel.slotted ~slots:4
+
+let build_scheduler c =
+  match c.sched_kind with
+  | 0 -> Scheduler.Synchronous
+  | 1 -> Scheduler.Sequential
+  | _ -> Scheduler.Random_order
+
+(* Inapplicable events (joining an alive node, downing an already-downed
+   link) are skipped by the engine, identically in both modes, so any
+   triple is a valid plan entry. Link events must name base-graph edges
+   ([Dynamic] rejects others), so the victim indexes the edge list. *)
+let build_plan c graph =
+  let n = Graph.node_count graph in
+  let edges = Array.of_list (Graph.edges graph) in
+  Churn.schedule
+    (List.map
+       (fun (round, kind, victim) ->
+         let v = victim mod n in
+         let link () = edges.(victim mod Array.length edges) in
+         let ev =
+           match kind mod 7 with
+           | 0 -> Churn.Crash v
+           | 1 -> Churn.Join v
+           | 2 -> Churn.Sleep v
+           | 3 -> Churn.Wake v
+           | (4 | 5) when Array.length edges = 0 -> Churn.Crash v
+           | 4 ->
+               let p, q = link () in
+               Churn.Link_down (p, q)
+           | 5 ->
+               let p, q = link () in
+               Churn.Link_up (p, q)
+           | _ -> Churn.Corrupt v
+         in
+         (1 + (round mod 12), [ ev ]))
+       c.plan)
+
+let run_case c =
+  let module P = Distributed.Make (struct
+    let params =
+      { Distributed.default_params with cache_ttl = 1 + (c.ttl mod 4) }
+  end) in
+  let module E = Engine.Make (P) in
+  let graph = build_graph c in
+  let channel = build_channel c in
+  let scheduler = build_scheduler c in
+  let churn = build_plan c graph in
+  let exec mode =
+    (* Fresh same-seeded generators: the base key and every sequential
+       plan-evaluation draw (init, churn victims, corrupt scrambles)
+       line up by construction; everything in-round is counter-keyed. *)
+    let rng = Rng.create ~seed:c.seed in
+    E.run ~mode ~scheduler ~channel ~max_rounds:40 ~quiet_rounds:2 ~churn
+      ~corrupt:Distributed.corrupt rng graph
+  in
+  let dense = exec E.Dense in
+  let sparse = exec (E.Sparse { warm = Some Distributed.pending_expiry }) in
+  let states_agree =
+    Array.for_all2
+      (fun a b -> P.equal_state a b)
+      dense.E.states sparse.E.states
+  in
+  states_agree
+  && dense.E.rounds = sparse.E.rounds
+  && dense.E.converged = sparse.E.converged
+  && dense.E.last_change_round = sparse.E.last_change_round
+  && dense.E.change_history = sparse.E.change_history
+  && dense.E.alive = sparse.E.alive
+  && dense.E.bursts = sparse.E.bursts
+  && dense.E.faults = sparse.E.faults
+
+let print_case c =
+  Printf.sprintf
+    "seed=%d graph=%d size=%d channel=%d sched=%d ttl=%d plan=[%s]" c.seed
+    c.graph_kind c.size c.channel_kind c.sched_kind c.ttl
+    (String.concat "; "
+       (List.map
+          (fun (r, k, v) -> Printf.sprintf "(%d,%d,%d)" r k v)
+          c.plan))
+
+let gen_case =
+  QCheck.Gen.(
+    map
+      (fun ((seed, graph_kind, size), (channel_kind, sched_kind, ttl), plan) ->
+        { seed; graph_kind; size; channel_kind; sched_kind; ttl; plan })
+      (triple
+         (triple (int_range 0 999_999) (int_range 0 4) (int_range 4 20))
+         (triple (int_range 0 3) (int_range 0 2) (int_range 0 3))
+         (list_size (int_range 0 10)
+            (triple (int_range 0 11) (int_range 0 6) (int_range 0 999)))))
+
+(* Shrinking drops plan entries first (the usual culprit), then shrinks
+   the topology; channel/scheduler/ttl selectors stay fixed so the
+   shrunk case still exercises the failing configuration. *)
+let shrink_case c yield =
+  QCheck.Shrink.list c.plan (fun plan -> yield { c with plan });
+  if c.size > 4 then QCheck.Shrink.int c.size (fun size ->
+      if size >= 4 then yield { c with size })
+
+let arb_case = QCheck.make ~print:print_case ~shrink:shrink_case gen_case
+
+let prop_sparse_equals_dense =
+  QCheck.Test.make ~name:"sparse run = dense run (all observables)"
+    ~count:500 arb_case run_case
+
+(* A directed pin on the warm hook: with a TTL larger than one, a
+   corrupted cache entry must age out through rounds in which nothing
+   else changes — exactly the regime where a sparse executor that
+   stopped ticking warm nodes would freeze early and diverge. *)
+let test_ttl_expiry_equivalence () =
+  List.iter
+    (fun ttl ->
+      let c =
+        {
+          seed = 4242;
+          graph_kind = 4;
+          size = 16;
+          channel_kind = 0;
+          sched_kind = 0;
+          ttl = ttl - 1;
+          plan = [ (4, 6, 5); (4, 6, 9); (9, 0, 2); (10, 1, 2) ];
+        }
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "ttl=%d equivalence" ttl)
+        true (run_case c))
+    [ 1; 2; 3; 4 ]
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_sparse_equals_dense ]
+
+let suite =
+  Alcotest.test_case "sparse: ttl expiry equivalence" `Quick
+    test_ttl_expiry_equivalence
+  :: qcheck_cases

@@ -13,6 +13,7 @@ let () =
       ("metrics", Suite_metrics.suite);
       ("maxmin", Suite_maxmin.suite);
       ("engine", Suite_engine.suite);
+      ("sparse", Suite_sparse.suite);
       ("monitor", Suite_monitor.suite);
       ("churn", Suite_churn.suite);
       ("mobility", Suite_mobility.suite);
