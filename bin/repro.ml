@@ -253,18 +253,27 @@ let churn_cmd =
 let campaign_cmd =
   let doc =
     "Robustness: adversarial fault-campaign sweep over (corruption fraction \
-     x channel x crash churn x scheduler), with the online invariant \
-     monitor classifying every non-converged run and per-run replay \
-     pointers for anomalies."
+     x channel x crash churn x scheduler x Byzantine adversary), with the \
+     online invariant monitor classifying every non-converged run, \
+     containment metrics for Byzantine cells and per-run replay pointers \
+     for anomalies."
   in
   let smoke_arg =
     let doc =
-      "Tiny fixed-seed grid (4 cells, 1 run each) exercising the monitor \
-       path in seconds; used by CI."
+      "Tiny fixed-seed grid (8 cells, 1 run each, including a Byzantine x \
+       bursty cell) exercising the monitor path in seconds; used by CI."
     in
     Arg.(value & flag & info [ "smoke" ] ~doc)
   in
-  let run seed runs jobs sparse smoke csv =
+  let strict_arg =
+    let doc =
+      "Exit non-zero when any grid row degraded to a failed (raising) run. \
+       Graceful degradation still prints the full table either way; this \
+       flag lets CI gate on it."
+    in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let run seed runs jobs sparse smoke strict csv =
     let grid, spec, runs, max_rounds =
       if smoke then
         ( E.Exp_campaign.smoke_grid,
@@ -288,12 +297,75 @@ let campaign_cmd =
         List.length (List.filter (fun r -> r.E.Exp_campaign.bad <> []) rows)
       in
       Fmt.pr "worst violation dwell: %d rounds; cells with anomalies: %d/%d@."
-        worst anomalous (List.length rows)
+        worst anomalous (List.length rows);
+      let byz_rows =
+        List.filter (fun r -> r.E.Exp_campaign.cell.E.Exp_campaign.c_byz <> None) rows
+      in
+      if byz_rows <> [] then
+        Fmt.pr
+          "worst-case containment radius: %d hops (over %d Byzantine cells; \
+           uncontained runs: %d)@."
+          (List.fold_left
+             (fun acc r -> max acc r.E.Exp_campaign.worst_radius)
+             0 byz_rows)
+          (List.length byz_rows)
+          (List.fold_left
+             (fun acc r -> acc + r.E.Exp_campaign.uncontained)
+             0 byz_rows)
+    end;
+    let failed = E.Exp_campaign.failed_rows rows in
+    if strict && failed <> [] then begin
+      Fmt.epr "campaign --strict: %d row(s) contain failed runs@."
+        (List.length failed);
+      exit 1
     end
   in
   Cmd.v (Cmd.info "campaign" ~doc)
     Term.(
       const run $ seed_arg $ runs_arg 4 $ jobs_arg $ sparse_arg $ smoke_arg
+      $ strict_arg $ csv_arg)
+
+let adversary_cmd =
+  let doc =
+    "Robustness: Byzantine containment sweep over (behavior x Byzantine \
+     count x channel) under a permanent adversary — violation radius, \
+     time to containment, clean-region legitimacy. Global convergence is \
+     not the bar; bounded blast radius is."
+  in
+  let smoke_arg =
+    let doc =
+      "Tiny fixed-seed sweep (stuck/liar x 2 channels, 1 run each) \
+       exercising the containment path in seconds."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let run seed runs jobs sparse smoke csv =
+    let rows =
+      if smoke then
+        E.Exp_adversary.run ~seed ~runs:1 ~domains:jobs ~sparse
+          ~spec:(E.Scenario.uniform ~count:30 ~radius:0.2 ())
+          ~behaviors:[ Ss_engine.Adversary.Stuck; Ss_engine.Adversary.Liar ]
+          ~counts:[ 2 ]
+          ~channels:
+            [ Ss_radio.Channel.perfect; E.Exp_campaign.default_bursty ]
+          ~max_rounds:400 ()
+      else E.Exp_adversary.run ~seed ~runs ~domains:jobs ~sparse ()
+    in
+    output ~csv (E.Exp_adversary.to_table rows);
+    if not csv then
+      Fmt.pr "worst-case containment radius: %d hops; uncontained runs: %d@."
+        (List.fold_left
+           (fun acc r -> max acc r.E.Exp_adversary.worst_radius)
+           0 rows)
+        (List.fold_left
+           (fun acc (r : E.Exp_adversary.row) ->
+             acc + (r.E.Exp_adversary.runs - r.E.Exp_adversary.failed
+                    - r.E.Exp_adversary.contained))
+           0 rows)
+  in
+  Cmd.v (Cmd.info "adversary" ~doc)
+    Term.(
+      const run $ seed_arg $ runs_arg 5 $ jobs_arg $ sparse_arg $ smoke_arg
       $ csv_arg)
 
 let all_cmd =
@@ -351,7 +423,8 @@ let main_cmd =
     [
       table1_cmd; table2_cmd; table3_cmd; table4_cmd; table5_cmd;
       figures_cmd; mobility_cmd; selfstab_cmd; compare_cmd; energy_cmd;
-      hierarchy_cmd; bounds_cmd; links_cmd; churn_cmd; campaign_cmd; all_cmd;
+      hierarchy_cmd; bounds_cmd; links_cmd; churn_cmd; campaign_cmd;
+      adversary_cmd; all_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -369,6 +369,44 @@ let corrupt rng _node st =
     far = [];
   }
 
+(* Forgery hook for the Byzantine adversary (Ss_engine.Adversary): rewrite
+   every field the election orders on, keyed — a pure function of (key,
+   node, honest frame), so replay and the sparse executor see the same
+   lie. The sender index [m_node] stays truthful: the radio layer
+   authenticates which transceiver transmitted (receivers key their cache
+   by the engine-supplied sender anyway), only the {e claims} inside the
+   frame are forgeable. The forged density is implausibly attractive
+   (many links over few nodes) and the node always claims to be its own
+   head — the strongest pull a lying neighbor can exert on the
+   density-ordered election — while the relayed 2-hop summaries are
+   scrambled per claimed neighbor, poisoning the far cache too. *)
+let forge key node m =
+  let lane i = Rng.subkey key i in
+  let forged_density k =
+    Some
+      (Density.make
+         ~links:(32 + Rng.key_int k 32)
+         ~nodes:(1 + Rng.key_int (Rng.subkey k 1) 4))
+  in
+  {
+    m with
+    m_gid = Rng.key_int (lane 0) 4096;
+    m_dag = Rng.key_int (lane 1) 4096;
+    m_density = forged_density (lane 2);
+    m_head = Some node;
+    m_nbrs =
+      Array.map
+        (fun s ->
+          let sk = Rng.subkey (lane 3) s.s_node in
+          {
+            s with
+            s_density = forged_density (Rng.subkey sk 0);
+            s_eff = Rng.key_int (Rng.subkey sk 1) 4096;
+            s_is_head = Rng.key_bernoulli (Rng.subkey sk 2) 0.5;
+          })
+        m.m_nbrs;
+  }
+
 (* Readback of a converged run into an assignment; nodes that never elected
    (no info yet) read as their own heads. Under churn, pass the engine's
    final liveness mask: crashed/sleeping nodes hold frozen (possibly stale)
@@ -407,3 +445,23 @@ let ghost_references ~alive states =
       end)
     states;
   !count
+
+(* Same predicate, but naming the believers instead of counting beliefs —
+   the attribution the containment metrics need (how far from the
+   Byzantine set does the network still believe ghosts?). *)
+let ghost_holders ~alive states =
+  let n = Array.length states in
+  let ghost self q = q <> self && (q < 0 || q >= n || not alive.(q)) in
+  let holders = ref [] in
+  for p = n - 1 downto 0 do
+    let st = states.(p) in
+    if alive.(p) then begin
+      let holds =
+        (match st.parent with Some f -> ghost p f | None -> false)
+        || (match st.head with Some h -> ghost p h | None -> false)
+        || List.exists (fun (q, _) -> ghost p q) st.cache
+      in
+      if holds then holders := p :: !holders
+    end
+  done;
+  !holders

@@ -89,6 +89,15 @@ val corrupt : Ss_prng.Rng.t -> int -> state -> state
 (** Scramble every corruptible field (names, density, head, parent, cached
     values) within type-correct bounds; the transient-fault model. *)
 
+val forge : Ss_prng.Rng.key -> int -> message -> message
+(** Forgery hook for {!Ss_engine.Adversary.CONFIG}: rewrite every field
+    the election orders on — an implausibly attractive density claim, a
+    self-head claim, scrambled gid/DAG names, poisoned 2-hop summaries —
+    as a pure {e keyed} function of (key, node, honest frame), so replay
+    and the sparse executor see the same lie. The sender index is left
+    truthful: the radio layer authenticates which transceiver
+    transmitted; only claims inside the frame are forgeable. *)
+
 val to_assignment : ?alive:bool array -> state array -> Assignment.t
 (** Project converged states to an assignment (nodes without an elected head
     read as their own heads). Under churn, pass the engine's final liveness
@@ -102,3 +111,9 @@ val ghost_references : alive:bool array -> state array -> int
     expiry plus re-election drain these after a churn burst; sampling the
     count per round (via the engine's [probe]) shows how long the network
     keeps believing ghosts. *)
+
+val ghost_holders : alive:bool array -> state array -> int list
+(** The alive nodes holding at least one such dangling reference, sorted —
+    the node-level attribution {!Ss_engine.Monitor}'s containment metrics
+    need. [ghost_references ~alive states = 0] iff
+    [ghost_holders ~alive states = []]. *)

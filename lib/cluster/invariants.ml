@@ -1,4 +1,5 @@
 module Graph = Ss_topology.Graph
+module Traversal = Ss_topology.Traversal
 module Monitor = Ss_engine.Monitor
 
 (* SplitMix64's finalizer: full-avalanche 64-bit mixing, so single-field
@@ -64,8 +65,74 @@ let violations ~config ~ids ~graph ~alive states =
     in
     base @ [ ("head-separation", close_heads) ]
 
-let monitor ?window ~config ~ids () =
-  Monitor.create ?window ~digest
+(* Node-level attribution of the same predicates: which nodes are the
+   violations AT. The containment metrics need this to measure how far
+   each violation sits from the Byzantine set. *)
+
+let problem_node = function
+  | Assignment.Parent_not_neighbor p
+  | Assignment.Parent_cycle p
+  | Assignment.Head_mismatch p
+  | Assignment.Stranded_member p -> p
+
+let violation_node = function
+  | Legitimacy.Structural problem -> problem_node problem
+  | Legitimacy.Not_a_fixpoint { node; _ } -> node
+
+(* Both endpoints of every head pair closer than the fusion rule's 3-hop
+   floor (the per-pair refinement of [Metrics.min_head_separation]). *)
+let close_head_nodes graph assignment =
+  let heads = Assignment.heads assignment in
+  let rec scan acc = function
+    | [] -> acc
+    | h :: rest ->
+        let dist = Traversal.bfs_from graph h in
+        let acc =
+          List.fold_left
+            (fun acc h' ->
+              if dist.(h') <> Traversal.unreachable && dist.(h') < 3 then
+                h :: h' :: acc
+              else acc)
+            acc rest
+        in
+        scan acc rest
+  in
+  scan [] heads
+
+let violators ~config ~ids ~graph ~alive states =
+  let assignment = Distributed.to_assignment ~alive states in
+  let dag_names =
+    if config.Config.use_dag_names then
+      Some (Array.map (fun (st : Distributed.state) -> st.dag) states)
+    else None
+  in
+  let illegitimate =
+    match Legitimacy.check ?dag_names config graph ~ids assignment with
+    | Ok () -> []
+    | Error vs -> List.map violation_node vs
+  in
+  let ghosts = Distributed.ghost_holders ~alive states in
+  let close =
+    if config.Config.fusion then close_head_nodes graph assignment else []
+  in
+  List.sort_uniq Int.compare (illegitimate @ ghosts @ close)
+
+let monitor ?window ?adversary ~config ~ids () =
+  Monitor.create ?window
+    ~violators:(fun ~graph ~alive states ->
+      violators ~config ~ids ~graph ~alive states)
+    ?adversary ~digest
     ~invariants:(fun ~graph ~alive states ->
       violations ~config ~ids ~graph ~alive states)
+    ()
+
+let monitor_via ?window ?adversary ~project ~config ~ids () =
+  Monitor.create ?window
+    ~violators:(fun ~graph ~alive states ->
+      violators ~config ~ids ~graph ~alive (Array.map project states))
+    ?adversary
+    ~digest:(fun ~graph ~alive states ->
+      digest ~graph ~alive (Array.map project states))
+    ~invariants:(fun ~graph ~alive states ->
+      violations ~config ~ids ~graph ~alive (Array.map project states))
     ()

@@ -35,11 +35,42 @@ val violations :
       closer than 3 hops ({!Metrics.min_head_separation}); omitted for
       fusion-free configurations, where 1-hop head adjacency is legal. *)
 
+val violators :
+  config:Config.t ->
+  ids:int array ->
+  graph:Ss_topology.Graph.t ->
+  alive:bool array ->
+  Distributed.state array ->
+  int list
+(** Node-level attribution of {!violations}: the sorted, deduplicated set
+    of nodes the round's violations sit at — each {!Legitimacy.check}
+    violation's node, every {!Distributed.ghost_holders} believer, and
+    (under [config.fusion]) both endpoints of every head pair closer than
+    3 hops. Empty iff {!violations} is all-zero. Feeds
+    [Ss_engine.Monitor]'s containment metrics, which measure each
+    violator's hop distance from the Byzantine set. *)
+
 val monitor :
   ?window:int ->
+  ?adversary:Ss_engine.Monitor.adversary ->
   config:Config.t ->
   ids:int array ->
   unit ->
   Distributed.state Ss_engine.Monitor.t
-(** A ready-made monitor over {!digest} and {!violations}: wire its
-    [Monitor.probe] and [Monitor.on_round] into [Engine.run]. *)
+(** A ready-made monitor over {!digest}, {!violations} and {!violators}:
+    wire its [Monitor.probe] and [Monitor.on_round] into [Engine.run].
+    With [adversary], the report's [containment] field tracks violation
+    radius and clean-region legitimacy. *)
+
+val monitor_via :
+  ?window:int ->
+  ?adversary:Ss_engine.Monitor.adversary ->
+  project:('wrapped -> Distributed.state) ->
+  config:Config.t ->
+  ids:int array ->
+  unit ->
+  'wrapped Ss_engine.Monitor.t
+(** {!monitor} for runs whose engine states wrap {!Distributed.state} —
+    typically [Ss_engine.Adversary.Wrap]ped runs, with
+    [~project:Q.project]: every hook projects the wrapped array first, so
+    legitimacy is judged on the honest protocol semantics. *)

@@ -100,13 +100,15 @@ module Make (P : Protocol.S) = struct
 
   let node_rng hkey p = Rng.of_key (Rng.subkey hkey p)
 
-  let step_round ~rk graph live channel scheduler states =
+  let step_round ~rk ~round graph live channel scheduler states =
     let n = Array.length states in
     let changed = ref 0 in
     (* One delivery plan per round: slotted channels memoize their slot
        assignment per plan, so all receivers of the round see consistent
        collisions. *)
-    let deliver = Channel.round_plan channel ~key:(lane_channel rk) ~graph in
+    let deliver =
+      Channel.round_plan channel ~key:(lane_channel rk) ~round ~graph
+    in
     let hkey = lane_handle rk in
     let update_node snapshot p =
       if live.(p) then begin
@@ -206,10 +208,13 @@ module Make (P : Protocol.S) = struct
   (* One sparse round: step only the frontier. [prev_rk] keys the previous
      round's channel plan — counter-keyed sampling makes it reconstructible,
      so delivery diffs need no storage. *)
-  let step_round_sparse ctx ~rk ~prev_rk graph live channel scheduler states =
+  let step_round_sparse ctx ~rk ~prev_rk ~round graph live channel scheduler
+      states =
     let n = Array.length states in
     let changed = ref 0 in
-    let deliver = Channel.round_plan channel ~key:(lane_channel rk) ~graph in
+    let deliver =
+      Channel.round_plan channel ~key:(lane_channel rk) ~round ~graph
+    in
     let hkey = lane_handle rk in
     (* A lossy channel changes a node's inputs whenever an incident
        delivery decision flips between rounds, even with every state
@@ -218,7 +223,8 @@ module Make (P : Protocol.S) = struct
     (match prev_rk with
     | Some prk when not (Channel.deterministic channel) ->
         let prev =
-          Channel.round_plan channel ~key:(lane_channel prk) ~graph
+          Channel.round_plan channel ~key:(lane_channel prk) ~round:(round - 1)
+            ~graph
         in
         for p = 0 to n - 1 do
           if live.(p) && not ctx.cur.(p) then begin
@@ -330,6 +336,14 @@ module Make (P : Protocol.S) = struct
     let states =
       match states with Some s -> s | None -> init_states rng graph
     in
+    (* A warm-start array of the wrong length would otherwise surface as an
+       out-of-bounds access deep in the round loop (live/frontier arrays
+       are sized from it); fail fast with the mismatch spelled out. *)
+    if Array.length states <> Graph.node_count graph then
+      invalid_arg
+        (Printf.sprintf
+           "Engine.run: ~states has %d entries but the graph has %d nodes"
+           (Array.length states) (Graph.node_count graph));
     let dyn = Dynamic.create graph in
     let ctx =
       match mode with
@@ -407,13 +421,14 @@ module Make (P : Protocol.S) = struct
       let rk = Rng.subkey base_key !round in
       let changed =
         match ctx with
-        | None -> step_round ~rk g live channel scheduler states
+        | None -> step_round ~rk ~round:!round g live channel scheduler states
         | Some c ->
             let prev_rk =
               if !round > 1 then Some (Rng.subkey base_key (!round - 1))
               else None
             in
-            step_round_sparse c ~rk ~prev_rk g live channel scheduler states
+            step_round_sparse c ~rk ~prev_rk ~round:!round g live channel
+              scheduler states
       in
       history := changed :: !history;
       (match on_round with

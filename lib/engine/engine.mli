@@ -132,7 +132,8 @@ module Make (P : Protocol.S) : sig
       [probe] additionally sees the round's effective topology snapshot,
       the liveness mask and live states (all read-only) for mid-run
       instrumentation such as invariant monitoring. [states] warm-starts
-      from a previous run.
+      from a previous run; it must have exactly one entry per graph node
+      (raises [Invalid_argument] up front on a length mismatch).
 
       Randomness is split into two disjoint families. The supplied
       generator drives only the per-round plan evaluation — churn events,

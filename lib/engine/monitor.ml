@@ -1,4 +1,5 @@
 module Graph = Ss_topology.Graph
+module Traversal = Ss_topology.Traversal
 module Ring = Ss_stats.Ring
 
 type classification =
@@ -7,6 +8,17 @@ type classification =
   | Still_changing
 
 type burst = { first : int; last : int; dwell : int option }
+
+type adversary = { dist : int array; horizon : int; active_from : int }
+
+type containment = {
+  tracked_rounds : int;
+  worst_radius : int;
+  escaped_rounds : int;
+  last_escape : int option;
+  contained : bool;
+  time_to_containment : int option;
+}
 
 type report = {
   classification : classification;
@@ -18,6 +30,7 @@ type report = {
   max_dwell : int option;
   unrecovered : int;
   post_recovery_violations : int;
+  containment : containment option;
 }
 
 type 'state t = {
@@ -25,6 +38,9 @@ type 'state t = {
     graph:Graph.t -> alive:bool array -> 'state array -> int64;
   invariants_fn :
     graph:Graph.t -> alive:bool array -> 'state array -> (string * int) list;
+  violators_fn :
+    (graph:Graph.t -> alive:bool array -> 'state array -> int list) option;
+  adversary : adversary option;
   ring : int64 Ring.t;
   mutable last_round : int;
   mutable rounds : int;
@@ -36,13 +52,30 @@ type 'state t = {
   mutable closed : burst list; (* newest first *)
   mutable recovered_once : bool;
   mutable post_violations : int;
+  (* containment tracking, live only from [adversary.active_from] on *)
+  mutable tracked : int;
+  mutable worst_radius : int;
+  mutable escaped : int;
+  mutable last_escape : int option;
 }
 
-let create ?(window = 64) ~digest ~invariants () =
+let create ?(window = 64) ?violators ?adversary ~digest ~invariants () =
   if window < 2 then invalid_arg "Monitor.create: window must be >= 2";
+  (match adversary with
+  | None -> ()
+  | Some a ->
+      if violators = None then
+        invalid_arg
+          "Monitor.create: ~adversary needs ~violators (containment \
+           attributes violations to nodes)";
+      if a.horizon < 0 then invalid_arg "Monitor.create: negative horizon";
+      if a.active_from < 1 then
+        invalid_arg "Monitor.create: active_from must be >= 1");
   {
     digest_fn = digest;
     invariants_fn = invariants;
+    violators_fn = violators;
+    adversary;
     ring = Ring.create ~capacity:window;
     last_round = 0;
     rounds = 0;
@@ -52,6 +85,10 @@ let create ?(window = 64) ~digest ~invariants () =
     closed = [];
     recovered_once = false;
     post_violations = 0;
+    tracked = 0;
+    worst_radius = 0;
+    escaped = 0;
+    last_escape = None;
   }
 
 let note_disturbance t ~round =
@@ -100,7 +137,29 @@ let probe t ~round ~graph ~alive states =
        anything after is a closure failure. *)
     if t.open_burst = None && t.recovered_once then
       t.post_violations <- t.post_violations + 1
-  end
+  end;
+  (* Containment: once the adversary is live, attribute each violation to
+     its distance from the Byzantine set. A violator beyond the horizon
+     (including one with no Byzantine node reachable at all) is an escape
+     — damage the clean region was supposed to be immune to. *)
+  match (t.adversary, t.violators_fn) with
+  | Some adv, Some violators when round >= adv.active_from ->
+      t.tracked <- t.tracked + 1;
+      let escape = ref false in
+      List.iter
+        (fun v ->
+          let d = adv.dist.(v) in
+          if d = Traversal.unreachable then escape := true
+          else begin
+            if d > t.worst_radius then t.worst_radius <- d;
+            if d > adv.horizon then escape := true
+          end)
+        (violators ~graph ~alive states);
+      if !escape then begin
+        t.escaped <- t.escaped + 1;
+        t.last_escape <- Some round
+      end
+  | _ -> ()
 
 let classify ~converged ~last_round digests =
   if converged then Converged
@@ -149,6 +208,37 @@ let report t ~converged =
         | None, _ -> acc)
       None bursts
   in
+  let containment =
+    match t.adversary with
+    | None -> None
+    | Some adv ->
+        (* Contained means the clean region was violation-free at the end:
+           either it never broke, or the last escape was followed by at
+           least one tracked clean-region-clean round. Time-to-containment
+           dates the settle point from activation; it is meaningless (and
+           [None]) while escapes are still live. *)
+        let contained =
+          match t.last_escape with
+          | None -> true
+          | Some r -> r < t.last_round
+        in
+        let time_to_containment =
+          if not contained then None
+          else
+            match t.last_escape with
+            | None -> Some 0
+            | Some r -> Some (r - adv.active_from + 1)
+        in
+        Some
+          {
+            tracked_rounds = t.tracked;
+            worst_radius = t.worst_radius;
+            escaped_rounds = t.escaped;
+            last_escape = t.last_escape;
+            contained;
+            time_to_containment;
+          }
+  in
   {
     classification =
       classify ~converged ~last_round:t.last_round (Ring.to_array t.ring);
@@ -160,6 +250,7 @@ let report t ~converged =
     max_dwell;
     unrecovered = (match t.open_burst with None -> 0 | Some _ -> 1);
     post_recovery_violations = t.post_violations;
+    containment;
   }
 
 let classification_label = function

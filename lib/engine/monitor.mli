@@ -43,6 +43,36 @@ type burst = {
           ended with the burst still dirty *)
 }
 
+(** Containment tracking against a permanent Byzantine set (see
+    {!Adversary}). [dist] is the hop distance from each node to the
+    nearest Byzantine node, precomputed on the base deployment
+    ({!Adversary.distances}); nodes at distance > [horizon] form the
+    {e clean region}, which strict stabilization demands stay legitimate
+    once the system has settled. Tracking starts at round [active_from]
+    (the adversary's activation round), so the cold-start convergence
+    prefix — violations everywhere, charged to no one — is excluded. *)
+type adversary = { dist : int array; horizon : int; active_from : int }
+
+type containment = {
+  tracked_rounds : int;  (** probe rounds at or after [active_from] *)
+  worst_radius : int;
+      (** max over tracked rounds of the violation radius: the largest
+          hop distance from any violating node to the Byzantine set (0
+          when nothing ever violated; escapes with {e no} Byzantine node
+          reachable are counted in [escaped_rounds] but not here) *)
+  escaped_rounds : int;
+      (** tracked rounds with a violator inside the clean region *)
+  last_escape : int option;  (** round of the last clean-region violation *)
+  contained : bool;
+      (** the clean region was violation-free at the end of the run:
+          never broken, or every escape followed by at least one tracked
+          clean round *)
+  time_to_containment : int option;
+      (** rounds from activation until the clean region went clean for
+          good ([Some 0] when it never broke; [None] while escapes are
+          still live, i.e. [not contained]) *)
+}
+
 type report = {
   classification : classification;
   rounds : int;  (** probe rounds observed *)
@@ -55,12 +85,17 @@ type report = {
   max_dwell : int option;  (** largest closed-burst dwell *)
   unrecovered : int;  (** bursts still dirty when the run ended *)
   post_recovery_violations : int;
+  containment : containment option;
+      (** [Some] iff the monitor was created with [~adversary] *)
 }
 
 type 'state t
 
 val create :
   ?window:int ->
+  ?violators:
+    (graph:Ss_topology.Graph.t -> alive:bool array -> 'state array -> int list) ->
+  ?adversary:adversary ->
   digest:(graph:Ss_topology.Graph.t -> alive:bool array -> 'state array -> int64) ->
   invariants:
     (graph:Ss_topology.Graph.t ->
@@ -72,9 +107,13 @@ val create :
 (** [digest] must hash only protocol {e outputs} (never clocks, timestamps
     or message caches — those change every round and would mask any
     oscillation); [invariants] returns labelled violation counts, zero or
-    absent labels meaning clean. [window] is the digest-ring capacity
-    (default 64): oscillations with period above [window/2] are reported as
-    [Still_changing]. Raises [Invalid_argument] when [window < 2]. *)
+    absent labels meaning clean. [violators] names the violating nodes of a
+    round (e.g. {!Ss_cluster.Invariants.violators}); with [adversary] it
+    feeds the containment metrics — [adversary] without [violators] raises
+    [Invalid_argument], as does [horizon < 0] or [active_from < 1].
+    [window] is the digest-ring capacity (default 64): oscillations with
+    period above [window/2] are reported as [Still_changing]. Raises
+    [Invalid_argument] when [window < 2]. *)
 
 val probe :
   'state t ->

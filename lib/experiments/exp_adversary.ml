@@ -1,0 +1,225 @@
+(* Robustness experiment C3: Byzantine containment sweep.
+
+   The campaign (C2) answers "does anything break the sweep"; this
+   experiment isolates the adversary axis and measures *containment*
+   proper, per (behavior × channel × Byzantine count) on a fixed
+   deployment class: how far from the Byzantine set do legitimacy
+   violations radiate once the adversary is live (violation radius), how
+   long until the clean region — every node more than [horizon] hops from
+   any Byzantine node — is legitimate for good (time to containment), and
+   whether it stays that way (escaped rounds, contained runs).
+
+   The paper's transient-fault theorem says nothing here: the fault never
+   stops, so global convergence is not the bar (an Oscillator keeps its
+   neighborhood dirty forever, and is supposed to). The strict-
+   stabilization bar is that the damage stays within a bounded radius of
+   the adversary. *)
+
+module Graph = Ss_topology.Graph
+module Rng = Ss_prng.Rng
+module Channel = Ss_radio.Channel
+module Scheduler = Ss_engine.Scheduler
+module Monitor = Ss_engine.Monitor
+module Adversary = Ss_engine.Adversary
+module Distributed = Ss_cluster.Distributed
+module Invariants = Ss_cluster.Invariants
+module Summary = Ss_stats.Summary
+module Table = Ss_stats.Table
+
+module P = Distributed.Make (struct
+  let params = Distributed.default_params
+end)
+
+let config = Distributed.default_params.Distributed.algo
+let quiet_rounds = Distributed.default_params.Distributed.cache_ttl + 2
+
+let default_spec = Scenario.uniform ~count:60 ~radius:0.15 ()
+let default_from_round = 40
+let default_counts = [ 1; 3 ]
+
+let default_channels =
+  [
+    Channel.perfect;
+    Channel.bernoulli 0.8;
+    Channel.asymmetric ~seed:11 ~tau_lo:0.5 ~tau_hi:1.0;
+    Exp_campaign.default_bursty;
+  ]
+
+type row = {
+  behavior : Adversary.behavior;
+  channel : Channel.t;
+  count : int;
+  runs : int;
+  contained : int;  (* runs whose clean region ended legitimate *)
+  worst_radius : int;
+  radius : Summary.t;  (* per-run worst violation radius *)
+  ttc : Summary.t;  (* time to containment, over contained runs *)
+  escaped_rounds : int;  (* clean-region-violating rounds, totalled *)
+  converged : int;
+  oscillating : int;
+  failed : int;
+}
+
+(* One run: converge-from-arbitrary-init with the adversary switching on
+   at [from_round], the monitor projecting wrapped states back to honest
+   semantics. Pure per-run so configs parallelize over domains. *)
+let run_one rng ~sparse ~spec ~max_rounds ~from_round ~horizon ~behavior
+    ~count channel =
+  let world = Scenario.build rng spec in
+  let graph = world.Scenario.graph in
+  let n = Graph.node_count graph in
+  let ids = Array.init n Fun.id in
+  let count = min count n in
+  let byz = Array.to_list (Array.sub (Rng.permutation rng n) 0 count) in
+  let adv_key = Rng.key_of rng in
+  let module Q =
+    Adversary.Wrap
+      (P)
+      (struct
+        type message = Distributed.message
+
+        let key = adv_key
+        let roles = List.map (fun p -> (p, behavior)) byz
+        let from_round = from_round
+        let forge = Distributed.forge
+      end)
+  in
+  let module EQ = Ss_engine.Engine.Make (Q) in
+  let adversary =
+    {
+      Monitor.dist = Adversary.distances graph byz;
+      horizon;
+      active_from = from_round;
+    }
+  in
+  let monitor =
+    Invariants.monitor_via ~adversary ~project:Q.project ~config ~ids ()
+  in
+  let mode =
+    if sparse then EQ.Sparse { warm = Some (Q.warm Distributed.pending_expiry) }
+    else EQ.Dense
+  in
+  let result =
+    EQ.run ~mode ~channel ~quiet_rounds ~max_rounds
+      ~on_round:(Monitor.on_round monitor)
+      ~probe:(Monitor.probe monitor) rng graph
+  in
+  let rep = Monitor.report monitor ~converged:result.EQ.converged in
+  (rep.Monitor.classification, rep.Monitor.containment)
+
+let run_config ?domains ~seed ~runs ~sparse ~spec ~max_rounds ~from_round
+    ~horizon ~behavior ~count channel =
+  let outcomes =
+    Runner.replicate ?domains ~seed ~runs (fun ~run rng ->
+        ignore run;
+        match
+          run_one rng ~sparse ~spec ~max_rounds ~from_round ~horizon
+            ~behavior ~count channel
+        with
+        | ok -> Some ok
+        | exception _ -> None)
+  in
+  let contained = ref 0 in
+  let worst = ref 0 in
+  let radius = Summary.create () in
+  let ttc = Summary.create () in
+  let escaped = ref 0 in
+  let converged = ref 0 in
+  let oscillating = ref 0 in
+  let failed = ref 0 in
+  List.iter
+    (fun outcome ->
+      match outcome with
+      | None -> incr failed
+      | Some (cls, containment) -> (
+          (match cls with
+          | Monitor.Converged -> incr converged
+          | Monitor.Oscillating _ -> incr oscillating
+          | Monitor.Still_changing -> ());
+          match containment with
+          | None -> ()
+          | Some c ->
+              Summary.add_int radius c.Monitor.worst_radius;
+              if c.Monitor.worst_radius > !worst then
+                worst := c.Monitor.worst_radius;
+              escaped := !escaped + c.Monitor.escaped_rounds;
+              if c.Monitor.contained then begin
+                incr contained;
+                match c.Monitor.time_to_containment with
+                | Some t -> Summary.add_int ttc t
+                | None -> ()
+              end))
+    outcomes;
+  {
+    behavior;
+    channel;
+    count;
+    runs;
+    contained = !contained;
+    worst_radius = !worst;
+    radius;
+    ttc;
+    escaped_rounds = !escaped;
+    converged = !converged;
+    oscillating = !oscillating;
+    failed = !failed;
+  }
+
+let run ?(seed = 42) ?(runs = 5) ?domains ?(sparse = false)
+    ?(spec = default_spec) ?(behaviors = Adversary.behaviors)
+    ?(counts = default_counts) ?(channels = default_channels)
+    ?(max_rounds = 800) ?(from_round = default_from_round)
+    ?(horizon = Exp_campaign.default_horizon) () =
+  List.concat_map
+    (fun behavior ->
+      List.concat_map
+        (fun count ->
+          List.map
+            (run_config ?domains ~seed ~runs ~sparse ~spec ~max_rounds
+               ~from_round ~horizon ~behavior ~count)
+            channels)
+        counts)
+    behaviors
+
+let to_table ?(title = "Adversary — containment per behavior/channel") rows =
+  let t =
+    Table.create ~title
+      ~header:
+        [
+          "behavior"; "byz"; "channel"; "contained"; "worst radius";
+          "mean radius"; "mean ttc"; "escaped rds"; "conv"; "osc"; "failed";
+        ]
+      ()
+  in
+  Table.add_rows t
+    (List.map
+       (fun r ->
+         [
+           Adversary.behavior_to_string r.behavior;
+           Table.cell_int r.count;
+           Fmt.str "%a" Channel.pp r.channel;
+           Printf.sprintf "%d/%d" r.contained r.runs;
+           Table.cell_int r.worst_radius;
+           Table.cell_float ~decimals:1 (Summary.mean r.radius);
+           Table.cell_float ~decimals:1 (Summary.mean r.ttc);
+           Table.cell_int r.escaped_rounds;
+           Table.cell_int r.converged;
+           Table.cell_int r.oscillating;
+           Table.cell_int r.failed;
+         ])
+       rows)
+
+let print ?seed ?runs ?domains ?sparse ?spec ?behaviors ?counts ?channels
+    ?max_rounds ?from_round ?horizon () =
+  let rows =
+    run ?seed ?runs ?domains ?sparse ?spec ?behaviors ?counts ?channels
+      ?max_rounds ?from_round ?horizon ()
+  in
+  Table.print (to_table rows);
+  let worst = List.fold_left (fun acc r -> max acc r.worst_radius) 0 rows in
+  let uncontained =
+    List.fold_left (fun acc r -> acc + (r.runs - r.failed - r.contained)) 0 rows
+  in
+  Printf.printf
+    "worst-case containment radius: %d hops; uncontained runs: %d\n" worst
+    uncontained

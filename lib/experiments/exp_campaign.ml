@@ -18,11 +18,13 @@ module Graph = Ss_topology.Graph
 module Scheduler = Ss_engine.Scheduler
 module Churn = Ss_engine.Churn
 module Monitor = Ss_engine.Monitor
+module Adversary = Ss_engine.Adversary
 module Channel = Ss_radio.Channel
 module Distributed = Ss_cluster.Distributed
 module Invariants = Ss_cluster.Invariants
 module Summary = Ss_stats.Summary
 module Table = Ss_stats.Table
+module Rng = Ss_prng.Rng
 
 module P = Distributed.Make (struct
   let params = Distributed.default_params
@@ -39,7 +41,13 @@ type cell = {
   c_channel : Channel.t;
   c_crash : float;
   c_scheduler : Scheduler.t;
+  c_byz : (int * Adversary.behavior) option;
 }
+
+let byz_label = function
+  | None -> "-"
+  | Some (count, b) ->
+      Printf.sprintf "%d %s" count (Adversary.behavior_to_string b)
 
 let cell_label c =
   [
@@ -47,6 +55,7 @@ let cell_label c =
     Fmt.str "%a" Channel.pp c.c_channel;
     (if c.c_crash > 0.0 then Printf.sprintf "%.2f" c.c_crash else "-");
     Fmt.str "%a" Scheduler.pp c.c_scheduler;
+    byz_label c.c_byz;
   ]
 
 type grid = {
@@ -54,25 +63,41 @@ type grid = {
   g_channels : Channel.t list;
   g_crash : float list;
   g_schedulers : Scheduler.t list;
+  g_byz : (int * Adversary.behavior) option list;
 }
+
+(* The default bursty channel: mostly-clean links falling into ~4-round
+   deep fades a few times per hundred rounds. *)
+let default_bursty =
+  Channel.bursty ~seed:7 ~tau_good:0.95 ~tau_bad:0.2 ~p_fade:0.05
+    ~p_recover:0.25
 
 let default_grid =
   {
     g_fractions = [ 0.1; 0.3 ];
     g_channels =
-      [ Channel.perfect; Channel.bernoulli 0.8; Channel.slotted ~slots:16 ];
+      [
+        Channel.perfect;
+        Channel.bernoulli 0.8;
+        Channel.slotted ~slots:16;
+        default_bursty;
+      ];
     g_crash = [ 0.0; 0.02 ];
     g_schedulers = [ Scheduler.Synchronous; Scheduler.Random_order ];
+    g_byz =
+      [ None; Some (2, Adversary.Liar); Some (2, Adversary.Oscillator) ];
   }
 
-(* Four cells, one run each: every monitor code path (lossy recovery,
-   contention, churn) exercised in seconds for CI. *)
+(* Eight cells, one run each: every monitor code path (lossy recovery,
+   contention, churn, Byzantine containment on a bursty channel)
+   exercised in seconds for CI. *)
 let smoke_grid =
   {
     g_fractions = [ 0.25 ];
-    g_channels = [ Channel.perfect; Channel.slotted ~slots:12 ];
+    g_channels = [ Channel.perfect; default_bursty ];
     g_crash = [ 0.0; 0.05 ];
     g_schedulers = [ Scheduler.Synchronous ];
+    g_byz = [ None; Some (2, Adversary.Liar) ];
   }
 
 let cells grid =
@@ -82,14 +107,18 @@ let cells grid =
         (fun ch ->
           List.concat_map
             (fun cr ->
-              List.map
+              List.concat_map
                 (fun s ->
-                  {
-                    c_fraction = f;
-                    c_channel = ch;
-                    c_crash = cr;
-                    c_scheduler = s;
-                  })
+                  List.map
+                    (fun byz ->
+                      {
+                        c_fraction = f;
+                        c_channel = ch;
+                        c_crash = cr;
+                        c_scheduler = s;
+                        c_byz = byz;
+                      })
+                    grid.g_byz)
                 grid.g_schedulers)
             grid.g_crash)
         grid.g_channels)
@@ -107,6 +136,8 @@ type row = {
   unrecovered : int;
   post_violations : int;
   peak_ghosts : int;
+  worst_radius : int;
+  uncontained : int;
   bad : (int * string) list;
 }
 
@@ -143,6 +174,7 @@ type success = {
   ok_unrecovered : int;
   ok_post : int;
   ok_ghost_peak : int;
+  ok_containment : Monitor.containment option;
 }
 
 type outcome = Run_ok of success | Run_failed of string
@@ -153,22 +185,9 @@ let mode ~sparse =
   if sparse then E.Sparse { warm = Some Distributed.pending_expiry }
   else E.Dense
 
-let run_one rng ~sparse ~spec ~max_rounds ~burst_round cell =
-  let world = Scenario.build rng spec in
-  let graph = world.Scenario.graph in
-  let ids = Array.init (Graph.node_count graph) Fun.id in
-  let monitor = Invariants.monitor ~config ~ids () in
-  let result =
-    E.run ~mode:(mode ~sparse) ~scheduler:cell.c_scheduler
-      ~channel:cell.c_channel ~quiet_rounds ~max_rounds
-      ~churn:(plan ~burst_round cell)
-      ~corrupt:Distributed.corrupt
-      ~on_round:(Monitor.on_round monitor)
-      ~probe:(Monitor.probe monitor) rng graph
-  in
-  let rep = Monitor.report monitor ~converged:result.E.converged in
+let success_of_report ~converged (rep : Monitor.report) =
   {
-    ok_converged = result.E.converged;
+    ok_converged = converged;
     ok_class = rep.Monitor.classification;
     ok_dwells =
       List.filter_map (fun b -> b.Monitor.dwell) rep.Monitor.bursts;
@@ -178,13 +197,88 @@ let run_one rng ~sparse ~spec ~max_rounds ~burst_round cell =
       (match List.assoc_opt "ghosts" rep.Monitor.peaks with
       | Some g -> g
       | None -> 0);
+    ok_containment = rep.Monitor.containment;
   }
 
-let run_cell ?domains ~seed ~runs ~sparse ~spec ~max_rounds ~burst_round cell =
+(* Default clean-region horizon: a lying frame poisons its receivers
+   directly and, through the relayed 2-hop summaries, their neighbors —
+   so damage within 2 hops of the Byzantine set is expected, and strict
+   stabilization is asserted beyond it. *)
+let default_horizon = 2
+
+let run_one rng ~sparse ~spec ~max_rounds ~burst_round ~horizon cell =
+  let world = Scenario.build rng spec in
+  let graph = world.Scenario.graph in
+  let ids = Array.init (Graph.node_count graph) Fun.id in
+  match cell.c_byz with
+  | None ->
+      let monitor = Invariants.monitor ~config ~ids () in
+      let result =
+        E.run ~mode:(mode ~sparse) ~scheduler:cell.c_scheduler
+          ~channel:cell.c_channel ~quiet_rounds ~max_rounds
+          ~churn:(plan ~burst_round cell)
+          ~corrupt:Distributed.corrupt
+          ~on_round:(Monitor.on_round monitor)
+          ~probe:(Monitor.probe monitor) rng graph
+      in
+      let rep = Monitor.report monitor ~converged:result.E.converged in
+      success_of_report ~converged:result.E.converged rep
+  | Some (count, behavior) ->
+      (* Byzantine roster and adversary key come from the run's sequential
+         generator (plan-evaluation family, like churn victims), drawn in
+         a fixed order before the engine starts; everything the adversary
+         does in-round is keyed off [adv_key]. *)
+      let n = Graph.node_count graph in
+      let count = min count n in
+      let byz = Array.to_list (Array.sub (Rng.permutation rng n) 0 count) in
+      let adv_key = Rng.key_of rng in
+      let module Q =
+        Adversary.Wrap
+          (P)
+          (struct
+            type message = Distributed.message
+
+            let key = adv_key
+            let roles = List.map (fun p -> (p, behavior)) byz
+            let from_round = burst_round
+            let forge = Distributed.forge
+          end)
+      in
+      let module EQ = Ss_engine.Engine.Make (Q) in
+      let adversary =
+        {
+          Monitor.dist = Adversary.distances graph byz;
+          horizon;
+          active_from = burst_round;
+        }
+      in
+      let monitor =
+        Invariants.monitor_via ~adversary ~project:Q.project ~config ~ids ()
+      in
+      let mode =
+        if sparse then
+          EQ.Sparse { warm = Some (Q.warm Distributed.pending_expiry) }
+        else EQ.Dense
+      in
+      let result =
+        EQ.run ~mode ~scheduler:cell.c_scheduler ~channel:cell.c_channel
+          ~quiet_rounds ~max_rounds
+          ~churn:(plan ~burst_round cell)
+          ~corrupt:(Q.lift_corrupt Distributed.corrupt)
+          ~on_round:(Monitor.on_round monitor)
+          ~probe:(Monitor.probe monitor) rng graph
+      in
+      let rep = Monitor.report monitor ~converged:result.EQ.converged in
+      success_of_report ~converged:result.EQ.converged rep
+
+let run_cell ?domains ~seed ~runs ~sparse ~spec ~max_rounds ~burst_round
+    ~horizon cell =
   let outcomes =
     Runner.replicate ?domains ~seed ~runs (fun ~run rng ->
         ignore run;
-        match run_one rng ~sparse ~spec ~max_rounds ~burst_round cell with
+        match
+          run_one rng ~sparse ~spec ~max_rounds ~burst_round ~horizon cell
+        with
         | ok -> Run_ok ok
         | exception e -> Run_failed (Printexc.to_string e))
   in
@@ -199,14 +293,17 @@ let run_cell ?domains ~seed ~runs ~sparse ~spec ~max_rounds ~burst_round cell =
   let unrecovered = ref 0 in
   let post = ref 0 in
   let ghosts = ref 0 in
+  let radius = ref 0 in
+  let uncontained = ref 0 in
   let bad = ref [] in
+  let byz = cell.c_byz <> None in
   List.iteri
     (fun i outcome ->
       match outcome with
       | Run_failed reason ->
           incr failed;
           bad := (i, reason) :: !bad
-      | Run_ok ok ->
+      | Run_ok ok -> (
           (match ok.ok_class with
           | Monitor.Converged -> incr converged
           | Monitor.Oscillating _ -> incr oscillating
@@ -219,7 +316,28 @@ let run_cell ?domains ~seed ~runs ~sparse ~spec ~max_rounds ~burst_round cell =
           unrecovered := !unrecovered + ok.ok_unrecovered;
           post := !post + ok.ok_post;
           if ok.ok_ghost_peak > !ghosts then ghosts := ok.ok_ghost_peak;
-          if (not ok.ok_converged) || ok.ok_unrecovered > 0 || ok.ok_post > 0
+          (match ok.ok_containment with
+          | None -> ()
+          | Some c ->
+              if c.Monitor.worst_radius > !radius then
+                radius := c.Monitor.worst_radius;
+              if not c.Monitor.contained then incr uncontained);
+          if byz then begin
+            (* Under a permanent adversary, recovery-flavoured verdicts
+               (convergence, burst closure, post-recovery cleanliness) no
+               longer apply — Oscillators are *supposed* to keep the run
+               dirty forever. The strict-stabilization verdict is
+               containment: the clean region must end the run legitimate. *)
+            match ok.ok_containment with
+            | Some c when not c.Monitor.contained ->
+                bad :=
+                  (i, Printf.sprintf "escaped (radius=%d, escapes=%d)"
+                        c.Monitor.worst_radius c.Monitor.escaped_rounds)
+                  :: !bad
+            | Some _ | None -> ()
+          end
+          else if
+            (not ok.ok_converged) || ok.ok_unrecovered > 0 || ok.ok_post > 0
           then
             let reason =
               if not ok.ok_converged then
@@ -227,7 +345,7 @@ let run_cell ?domains ~seed ~runs ~sparse ~spec ~max_rounds ~burst_round cell =
               else if ok.ok_unrecovered > 0 then "unrecovered burst"
               else Printf.sprintf "post-recovery violations=%d" ok.ok_post
             in
-            bad := (i, reason) :: !bad)
+            bad := (i, reason) :: !bad))
     outcomes;
   {
     cell;
@@ -241,14 +359,17 @@ let run_cell ?domains ~seed ~runs ~sparse ~spec ~max_rounds ~burst_round cell =
     unrecovered = !unrecovered;
     post_violations = !post;
     peak_ghosts = !ghosts;
+    worst_radius = !radius;
+    uncontained = !uncontained;
     bad = List.rev !bad;
   }
 
 let run ?(seed = 42) ?(runs = 4) ?domains ?(sparse = false)
     ?(spec = default_spec) ?(grid = default_grid) ?(max_rounds = 1_500)
-    ?(burst_round = default_burst_round) () =
+    ?(burst_round = default_burst_round) ?(horizon = default_horizon) () =
   List.map
-    (run_cell ?domains ~seed ~runs ~sparse ~spec ~max_rounds ~burst_round)
+    (run_cell ?domains ~seed ~runs ~sparse ~spec ~max_rounds ~burst_round
+       ~horizon)
     (cells grid)
 
 let to_table ?(title = "Campaign — worst case per fault-grid cell") rows =
@@ -256,9 +377,10 @@ let to_table ?(title = "Campaign — worst case per fault-grid cell") rows =
     Table.create ~title
       ~header:
         [
-          "corrupt"; "channel"; "crash/rd"; "scheduler"; "conv"; "osc";
-          "still"; "failed"; "mean dwell"; "max dwell"; "unrec";
-          "post-viol"; "peak ghosts"; "replay (seed-relative run: reason)";
+          "corrupt"; "channel"; "crash/rd"; "scheduler"; "byz"; "conv";
+          "osc"; "still"; "failed"; "mean dwell"; "max dwell"; "unrec";
+          "post-viol"; "peak ghosts"; "radius";
+          "replay (seed-relative run: reason)";
         ]
       ()
   in
@@ -276,6 +398,8 @@ let to_table ?(title = "Campaign — worst case per fault-grid cell") rows =
              Table.cell_int r.unrecovered;
              Table.cell_int r.post_violations;
              Table.cell_int r.peak_ghosts;
+             (if r.cell.c_byz = None then "-"
+              else Table.cell_int r.worst_radius);
              (match r.bad with
              | [] -> "-"
              | bad ->
@@ -286,16 +410,29 @@ let to_table ?(title = "Campaign — worst case per fault-grid cell") rows =
            ])
        rows)
 
-let print ?seed ?runs ?domains ?sparse ?spec ?grid ?max_rounds ?burst_round ()
-    =
+let print ?seed ?runs ?domains ?sparse ?spec ?grid ?max_rounds ?burst_round
+    ?horizon () =
   let rows =
-    run ?seed ?runs ?domains ?sparse ?spec ?grid ?max_rounds ?burst_round ()
+    run ?seed ?runs ?domains ?sparse ?spec ?grid ?max_rounds ?burst_round
+      ?horizon ()
   in
   Table.print (to_table rows);
   let worst =
     List.fold_left (fun acc r -> max acc r.max_dwell) 0 rows
   in
+  let byz_rows = List.filter (fun r -> r.cell.c_byz <> None) rows in
+  let worst_radius =
+    List.fold_left (fun acc r -> max acc r.worst_radius) 0 byz_rows
+  in
   let anomalous = List.length (List.filter (fun r -> r.bad <> []) rows) in
   Printf.printf
     "worst violation dwell: %d rounds; cells with anomalies: %d/%d\n" worst
-    anomalous (List.length rows)
+    anomalous (List.length rows);
+  if byz_rows <> [] then
+    Printf.printf
+      "worst-case containment radius: %d hops (over %d Byzantine cells; \
+       uncontained runs: %d)\n"
+      worst_radius (List.length byz_rows)
+      (List.fold_left (fun acc r -> acc + r.uncontained) 0 byz_rows)
+
+let failed_rows rows = List.filter (fun r -> r.failed > 0) rows

@@ -22,23 +22,34 @@ type cell = {
           the burst (crashed nodes trickle back; all rejoin at the end);
           0 disables churn *)
   c_scheduler : Ss_engine.Scheduler.t;
+  c_byz : (int * Ss_engine.Adversary.behavior) option;
+      (** permanent Byzantine adversary: [Some (count, behavior)] turns
+          [count] random nodes Byzantine from the burst round on, forging
+          with {!Ss_cluster.Distributed.forge}; [None] keeps the cell
+          transient-only *)
 }
 
 val cell_label : cell -> string list
-(** The four grid coordinates, rendered (fraction, channel, crash, sched). *)
+(** The five grid coordinates, rendered (fraction, channel, crash, sched,
+    byz). *)
 
 type grid = {
   g_fractions : float list;
   g_channels : Ss_radio.Channel.t list;
   g_crash : float list;
   g_schedulers : Ss_engine.Scheduler.t list;
+  g_byz : (int * Ss_engine.Adversary.behavior) option list;
 }
+
+val default_bursty : Ss_radio.Channel.t
+(** The grid's Gilbert–Elliott channel: mostly-clean links with ~4-round
+    deep fades a few times per hundred rounds. *)
 
 val default_grid : grid
 val smoke_grid : grid
 
 val cells : grid -> cell list
-(** Cartesian product in a fixed order (fraction-major). *)
+(** Cartesian product in a fixed order (fraction-major, Byzantine-minor). *)
 
 type row = {
   cell : cell;
@@ -56,13 +67,28 @@ type row = {
       (** violating rounds after recovery, totalled — 0 for a
           self-stabilizing protocol *)
   peak_ghosts : int;  (** worst single-round ghost-reference count *)
+  worst_radius : int;
+      (** Byzantine cells: worst violation radius over the cell's runs
+          (largest hop distance from a violating node to the Byzantine
+          set, once the adversary is live); 0 elsewhere *)
+  uncontained : int;
+      (** Byzantine cells: runs whose clean region was still violating
+          when the run ended *)
   bad : (int * string) list;
       (** replay pointers: anomalous run index with the reason (exception
-          text, classification, or closure failure) *)
+          text, classification, or closure failure; for Byzantine cells
+          only raising or uncontained runs are anomalous — a permanent
+          adversary is {e supposed} to keep its neighborhood dirty, so
+          convergence and burst-closure verdicts don't apply) *)
 }
 
 val default_spec : Scenario.spec
 val default_burst_round : int
+
+val default_horizon : int
+(** Clean-region horizon (2): a lying frame poisons its receivers and,
+    via the relayed 2-hop summaries, their neighbors — so strict
+    stabilization is asserted at distance > 2 from the Byzantine set. *)
 
 val run_cell :
   ?domains:int ->
@@ -72,6 +98,7 @@ val run_cell :
   spec:Scenario.spec ->
   max_rounds:int ->
   burst_round:int ->
+  horizon:int ->
   cell ->
   row
 
@@ -84,6 +111,7 @@ val run :
   ?grid:grid ->
   ?max_rounds:int ->
   ?burst_round:int ->
+  ?horizon:int ->
   unit ->
   row list
 (** [sparse] (default false) switches the engine to dirty-set execution
@@ -104,7 +132,14 @@ val print :
   ?grid:grid ->
   ?max_rounds:int ->
   ?burst_round:int ->
+  ?horizon:int ->
   unit ->
   unit
-(** Runs the campaign, prints the table plus a one-line verdict (worst
-    dwell across the grid; anomalous cell count). *)
+(** Runs the campaign, prints the table plus the verdict lines (worst
+    dwell across the grid; anomalous cell count; for grids with Byzantine
+    cells, the worst-case containment radius and uncontained-run count). *)
+
+val failed_rows : row list -> row list
+(** Rows with at least one {e raising} run — what [repro campaign
+    --strict] gates CI on (graceful degradation still prints the table,
+    but the exit code goes non-zero). *)

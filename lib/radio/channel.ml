@@ -12,14 +12,35 @@
    receiver, hidden terminals included since contention is evaluated in the
    receiver's neighborhood).
 
+   Two models break the memoryless-symmetric assumption deliberately, for
+   the adversary experiments:
+
+   - [Asymmetric] gives every *directed* pair its own delivery
+     probability, drawn once per ordered (src, dst) from a channel-owned
+     key — links where p hears q but q barely hears p, the real-radio
+     regime the paper's symmetric-tau proof does not cover.
+
+   - [Bursty] is a Gilbert-Elliott good/bad chain per directed pair:
+     delivery probability tau_good in the good state, tau_bad in the bad
+     state, with per-round fade/recover transitions. The chain state at
+     round r is a pure function of (chain key, src, dst, r): rounds are
+     cut into fixed epochs, each epoch starts from a keyed stationary
+     draw, and the state within the epoch is located by walking keyed
+     geometric sojourn lengths — so any round's state (and hence any
+     round's plan) is reconstructible without simulating the chain from
+     round zero, which is what keeps the sparse executor's delivery-diff
+     replay valid.
+
    All sampling is counter-keyed: every loss decision is a pure function of
-   (round key, src, dst) and every slot draw of (round key, node), through
-   Rng.subkey / Rng.key_* only — never a sequential draw from a shared
-   generator. This makes the delivery pattern independent of which pairs
-   are queried and in what order, which is what lets the sparse executor
-   skip quiet nodes without perturbing anyone's losses, and lets any
-   round's plan be re-evaluated after the fact (the previous round's plan
-   is reconstructible from its key). *)
+   (round key, src, dst) (plus, for [Bursty], the chain state, itself a
+   pure function of (chain key, src, dst, round)) and every slot draw of
+   (round key, node), through Rng.subkey / Rng.key_* only — never a
+   sequential draw from a shared generator. This makes the delivery
+   pattern independent of which pairs are queried and in what order, which
+   is what lets the sparse executor skip quiet nodes without perturbing
+   anyone's losses, and lets any round's plan be re-evaluated after the
+   fact (the previous round's plan is reconstructible from its key and
+   round number). *)
 
 module Graph = Ss_topology.Graph
 module Rng = Ss_prng.Rng
@@ -29,6 +50,14 @@ type t =
   | Bernoulli of float
   | Jammed of { tau : float; region : Ss_geom.Bbox.t; jam_tau : float }
   | Slotted of { slots : int }
+  | Asymmetric of { link_key : Rng.key; tau_lo : float; tau_hi : float }
+  | Bursty of {
+      chain_key : Rng.key;
+      tau_good : float;
+      tau_bad : float;
+      p_fade : float; (* good -> bad per round *)
+      p_recover : float; (* bad -> good per round *)
+    }
 
 let perfect = Perfect
 
@@ -46,6 +75,23 @@ let slotted ~slots =
   if slots < 1 then invalid_arg "Channel.slotted: need at least one slot";
   Slotted { slots }
 
+let asymmetric ~seed ~tau_lo ~tau_hi =
+  if tau_lo < 0.0 || tau_hi > 1.0 || tau_lo > tau_hi then
+    invalid_arg "Channel.asymmetric: need 0 <= tau_lo <= tau_hi <= 1";
+  Asymmetric { link_key = Rng.key ~seed; tau_lo; tau_hi }
+
+let bursty ~seed ~tau_good ~tau_bad ~p_fade ~p_recover =
+  let in_unit x = x >= 0.0 && x <= 1.0 in
+  if not (in_unit tau_good && in_unit tau_bad) then
+    invalid_arg "Channel.bursty: tau out of range";
+  if not (in_unit p_fade && in_unit p_recover) then
+    invalid_arg "Channel.bursty: transition probability out of range";
+  if p_fade +. p_recover <= 0.0 then
+    invalid_arg "Channel.bursty: p_fade + p_recover must be positive";
+  Bursty { chain_key = Rng.key ~seed; tau_good; tau_bad; p_fade; p_recover }
+
+let stationary_bad ~p_fade ~p_recover = p_fade /. (p_fade +. p_recover)
+
 let tau = function
   | Perfect -> 1.0
   | Bernoulli tau -> tau
@@ -56,18 +102,81 @@ let tau = function
          isolated pair); every further contending neighbor lowers the
          realized rate below this. *)
       float_of_int (slots - 1) /. float_of_int slots
+  | Asymmetric { tau_lo; tau_hi; _ } ->
+      (* Indication: the per-direction rates are spread uniformly over
+         [tau_lo, tau_hi]; the midpoint is the population mean. *)
+      0.5 *. (tau_lo +. tau_hi)
+  | Bursty { tau_good; tau_bad; p_fade; p_recover; _ } ->
+      (* Indication: the stationary mean over the good/bad chain. Realized
+         per-window rates swing between tau_bad and tau_good. *)
+      let pi_bad = stationary_bad ~p_fade ~p_recover in
+      ((1.0 -. pi_bad) *. tau_good) +. (pi_bad *. tau_bad)
 
 let deterministic = function
   | Perfect -> true
-  | Bernoulli _ | Jammed _ | Slotted _ -> false
+  | Bernoulli _ | Jammed _ | Slotted _ | Asymmetric _ | Bursty _ -> false
 
 (* Key lanes. Per-edge decisions live under (key, src, dst); per-node slot
    draws under (key, node). The two never coexist within one channel kind,
-   but distinct lane tags keep them disjoint anyway. *)
+   but distinct lane tags keep them disjoint anyway. The asymmetric and
+   bursty models additionally draw from a channel-owned key (per-direction
+   tau, chain state) that must be stable across rounds, so it cannot come
+   from the per-round key. *)
 let edge_key key ~src ~dst = Rng.subkey (Rng.subkey (Rng.subkey key 0) src) dst
 let slot_key key node = Rng.subkey (Rng.subkey key 1) node
 
-let round_plan t ~key ~graph =
+let directional_tau t ~src ~dst =
+  match t with
+  | Asymmetric { link_key; tau_lo; tau_hi } ->
+      tau_lo
+      +. ((tau_hi -. tau_lo)
+         *. Rng.key_unit (Rng.subkey (Rng.subkey link_key src) dst))
+  | Perfect | Bernoulli _ | Jammed _ | Slotted _ | Bursty _ -> tau t
+
+(* Gilbert-Elliott chain state (true = bad), pure in (chain key, src, dst,
+   round). Rounds are cut into fixed-length epochs; each epoch opens with
+   a stationary draw and the state inside it is found by accumulating
+   keyed geometric sojourn lengths until they cover the queried offset —
+   at most [ge_epoch] iterations, each consuming one key derivation. The
+   epoch renewal slightly shortens cross-epoch bursts; sojourn means well
+   below [ge_epoch] keep the distortion negligible (documented in the
+   interface). *)
+let ge_epoch = 64
+
+let bursty_bad t ~src ~dst ~round =
+  match t with
+  | Bursty { chain_key; p_fade; p_recover; _ } ->
+      if round < 0 then invalid_arg "Channel.bursty_bad: negative round";
+      let epoch = round / ge_epoch in
+      let offset = round mod ge_epoch in
+      let ekey =
+        Rng.subkey (Rng.subkey (Rng.subkey chain_key src) dst) epoch
+      in
+      let bad0 =
+        Rng.key_bernoulli (Rng.subkey ekey 0)
+          (stationary_bad ~p_fade ~p_recover)
+      in
+      let rec walk bad covered i =
+        let exit_p = if bad then p_recover else p_fade in
+        if exit_p <= 0.0 then bad (* absorbing for the rest of the epoch *)
+        else
+          let u = Rng.key_unit (Rng.subkey ekey i) in
+          (* Geometric sojourn >= 1: rounds spent in [bad] before the
+             next transition fires. *)
+          let sojourn =
+            if exit_p >= 1.0 then 1
+            else
+              let l = 1.0 +. Float.floor (Float.log1p (-.u) /. Float.log1p (-.exit_p)) in
+              if l >= float_of_int ge_epoch then ge_epoch else int_of_float l
+          in
+          if offset < covered + sojourn then bad
+          else walk (not bad) (covered + sojourn) (i + 1)
+      in
+      walk bad0 0 1
+  | Perfect | Bernoulli _ | Jammed _ | Slotted _ | Asymmetric _ ->
+      invalid_arg "Channel.bursty_bad: not a bursty channel"
+
+let round_plan t ~key ~round ~graph =
   match t with
   | Perfect -> fun ~src:_ ~dst:_ -> true
   | Bernoulli tau ->
@@ -108,6 +217,16 @@ let round_plan t ~key ~graph =
         && Array.for_all
              (fun r -> r = src || slot r <> slot src)
              (Graph.neighbors graph dst)
+  | Asymmetric _ ->
+      fun ~src ~dst ->
+        Rng.key_bernoulli (edge_key key ~src ~dst)
+          (directional_tau t ~src ~dst)
+  | Bursty { tau_good; tau_bad; _ } ->
+      fun ~src ~dst ->
+        let effective =
+          if bursty_bad t ~src ~dst ~round then tau_bad else tau_good
+        in
+        Rng.key_bernoulli (edge_key key ~src ~dst) effective
 
 let pp ppf = function
   | Perfect -> Fmt.string ppf "perfect"
@@ -116,3 +235,8 @@ let pp ppf = function
       Fmt.pf ppf "jammed(tau=%.3f, jam_tau=%.3f, region=%a)" tau jam_tau
         Ss_geom.Bbox.pp region
   | Slotted { slots } -> Fmt.pf ppf "slotted(%d)" slots
+  | Asymmetric { tau_lo; tau_hi; _ } ->
+      Fmt.pf ppf "asymmetric(tau=%.2f..%.2f)" tau_lo tau_hi
+  | Bursty { tau_good; tau_bad; p_fade; p_recover; _ } ->
+      Fmt.pf ppf "bursty(good=%.2f, bad=%.2f, fade=%.3f, rec=%.3f)" tau_good
+        tau_bad p_fade p_recover

@@ -40,13 +40,51 @@ val slotted : slots:int -> t
     included). Delivery probability emerges from local degrees instead of
     being postulated. *)
 
+val asymmetric : seed:int -> tau_lo:float -> tau_hi:float -> t
+(** Per-direction loss: every {e ordered} pair (src, dst) gets its own
+    stable delivery probability, drawn uniformly from [tau_lo, tau_hi] as a
+    pure function of a channel key derived from [seed] — so the link p→q
+    and its reverse q→p generally differ, breaking the symmetric-τ
+    assumption of the paper's proof. Per-round losses are then independent
+    Bernoulli draws at that directional rate. Raises [Invalid_argument]
+    unless [0 <= tau_lo <= tau_hi <= 1]. *)
+
+val bursty : seed:int -> tau_good:float -> tau_bad:float -> p_fade:float -> p_recover:float -> t
+(** Gilbert–Elliott burst loss: each ordered pair carries a two-state
+    good/bad chain; frames deliver with probability [tau_good] in the good
+    state and [tau_bad] in the bad state, and per round the chain fades
+    (good→bad) with probability [p_fade] and recovers (bad→good) with
+    probability [p_recover]. The chain state at round [r] is a {e pure
+    function} of (channel key, src, dst, r): rounds are cut into
+    fixed-length epochs, each epoch opens from a keyed stationary draw and
+    the in-epoch state is located by walking keyed geometric sojourn
+    lengths — O(epoch length) key derivations worst case, no dependence on
+    earlier rounds — so plan replay and the sparse delivery-diff stay
+    valid. The epoch renewal truncates sojourns at epoch boundaries,
+    slightly shortening very long bursts; with sojourn means well under the
+    epoch length (64 rounds) the distortion is negligible. Raises
+    [Invalid_argument] unless both taus and both transition probabilities
+    lie in [0, 1] and [p_fade +. p_recover > 0]. *)
+
 val tau : t -> float
 (** The baseline per-frame delivery probability for the memoryless models.
-    For [slotted] the returned value is an {e indication only}, not a
-    delivery probability: (slots-1)/slots is the no-clash chance against a
-    single competitor, exact just for an isolated pair — the realized rate
-    depends on local degrees and every further contending neighbor pushes
-    it lower. *)
+    For [slotted], [asymmetric] and [bursty] the returned value is an
+    {e indication only}, not a delivery probability: (slots-1)/slots is the
+    no-clash chance against a single competitor (exact just for an isolated
+    pair), the midpoint of [tau_lo, tau_hi] is the population mean over
+    directed links, and the stationary mean of the good/bad chain hides
+    swings between [tau_bad] and [tau_good]. *)
+
+val directional_tau : t -> src:int -> dst:int -> float
+(** The stable delivery probability of the directed link (src, dst). Only
+    [asymmetric] actually differentiates directions; every other model
+    returns {!tau} (with the same indication-only caveats). *)
+
+val bursty_bad : t -> src:int -> dst:int -> round:int -> bool
+(** Whether the (src, dst) Gilbert–Elliott chain is in the bad state at
+    [round] — a pure function of the channel key and the three arguments,
+    exposed for tests and diagnostics. Raises [Invalid_argument] on
+    non-[bursty] channels and on negative rounds. *)
 
 val deterministic : t -> bool
 (** True when the plan is the same every round ([perfect] — note that
@@ -57,18 +95,22 @@ val deterministic : t -> bool
 val round_plan :
   t ->
   key:Ss_prng.Rng.key ->
+  round:int ->
   graph:Ss_topology.Graph.t ->
   src:int ->
   dst:int ->
   bool
-(** [round_plan t ~key ~graph] builds one Δ(τ) window's delivery function
-    from the round's key (derive it as a [subkey] of the run's base key by
-    round number). Query it for any (sender, 1-neighbor) pair of that
-    round; answers are consistent within the plan and independent of query
-    order or coverage — [Slotted] memoizes its slot assignment per plan,
-    so all queries within a round see consistent collisions. Rebuilding a
-    plan from the same key replays the identical window (this is how the
-    sparse executor diffs a round's deliveries against the previous
-    round's without storing them). *)
+(** [round_plan t ~key ~round ~graph] builds one Δ(τ) window's delivery
+    function from the round's key (derive it as a [subkey] of the run's
+    base key by round number) and the round number itself ([bursty] needs
+    it to locate its chain state; the other models ignore it, their
+    per-round variation coming entirely through [key]). Query it for any
+    (sender, 1-neighbor) pair of that round; answers are consistent within
+    the plan and independent of query order or coverage — [Slotted]
+    memoizes its slot assignment per plan, so all queries within a round
+    see consistent collisions. Rebuilding a plan from the same key and
+    round replays the identical window (this is how the sparse executor
+    diffs a round's deliveries against the previous round's without
+    storing them). *)
 
 val pp : t Fmt.t

@@ -1,0 +1,419 @@
+(* The adversary wrapper's proof obligations.
+
+   (1) Differential battery: [Adversary.Wrap] grafted onto the full
+   distributed stack must keep the sparse executor bit-identical to the
+   dense reference walk over random (graph x channel x scheduler x
+   Byzantine roster x activation round x churn plan) cases — including
+   the asymmetric and bursty channels, whose plans are pure functions of
+   (key, edge, round) precisely so this holds. Any under-declared
+   dependency (a Liar emission moving while its node sleeps, an
+   activation clock frozen by the dirty set) shows up as a divergence,
+   and QCheck shrinks the roster and plan to a minimal counterexample.
+
+   (2) Transparency: an empty roster is the identity transformer.
+
+   (3) Containment pins: directed cases where the adversary's blast
+   radius is known — a Stuck node on a perfect channel must leave the
+   clean region legitimate (strict stabilization), and a Mute node is
+   exactly a node whose frames never arrive. *)
+
+module Graph = Ss_topology.Graph
+module Builders = Ss_topology.Builders
+module Traversal = Ss_topology.Traversal
+module Channel = Ss_radio.Channel
+module Scheduler = Ss_engine.Scheduler
+module Churn = Ss_engine.Churn
+module Engine = Ss_engine.Engine
+module Adversary = Ss_engine.Adversary
+module Monitor = Ss_engine.Monitor
+module Distributed = Ss_cluster.Distributed
+module Invariants = Ss_cluster.Invariants
+module Rng = Ss_prng.Rng
+
+module P = Distributed.Make (struct
+  let params = Distributed.default_params
+end)
+
+(* ------------------------------------------------ differential battery *)
+
+type case = {
+  seed : int;
+  graph_kind : int;  (* 0 path / 1 cycle / 2 gnp / 3 geo grid *)
+  size : int;
+  channel_kind : int;  (* 0 perfect / 1 bernoulli / 2 asymmetric / 3 bursty *)
+  sched_kind : int;  (* 0 synchronous / 1 sequential / 2 random order *)
+  from_round : int;
+  byz : (int * int) list;  (* (node selector, behavior selector) *)
+  plan : (int * int * int) list;  (* (round, event kind, victim) churn *)
+}
+
+let build_graph c =
+  let size = max 4 c.size in
+  match c.graph_kind with
+  | 0 -> Builders.path size
+  | 1 -> Builders.cycle size
+  | 2 -> Builders.gnp (Rng.create ~seed:(c.seed + 1)) ~n:size ~p:0.25
+  | _ ->
+      Builders.geometric_grid ~cols:4 ~rows:(max 2 (size / 4)) ~radius:0.45
+
+let build_channel c =
+  match c.channel_kind with
+  | 0 -> Channel.perfect
+  | 1 -> Channel.bernoulli 0.7
+  | 2 -> Channel.asymmetric ~seed:(c.seed + 2) ~tau_lo:0.4 ~tau_hi:1.0
+  | _ ->
+      Channel.bursty ~seed:(c.seed + 3) ~tau_good:0.9 ~tau_bad:0.1
+        ~p_fade:0.15 ~p_recover:0.4
+
+let build_scheduler c =
+  match c.sched_kind with
+  | 0 -> Scheduler.Synchronous
+  | 1 -> Scheduler.Sequential
+  | _ -> Scheduler.Random_order
+
+(* Selectors fold onto the graph; duplicate nodes keep their first
+   behavior (Wrap rejects duplicate roster entries). *)
+let build_roles c n =
+  let seen = Hashtbl.create 4 in
+  List.filter_map
+    (fun (node, b) ->
+      let p = node mod n in
+      if Hashtbl.mem seen p then None
+      else begin
+        Hashtbl.add seen p ();
+        Some (p, List.nth Adversary.behaviors (b mod 4))
+      end)
+    c.byz
+
+let build_plan c graph =
+  let n = Graph.node_count graph in
+  let edges = Array.of_list (Graph.edges graph) in
+  Churn.schedule
+    (List.map
+       (fun (round, kind, victim) ->
+         let v = victim mod n in
+         let link () = edges.(victim mod Array.length edges) in
+         let ev =
+           match kind mod 7 with
+           | 0 -> Churn.Crash v
+           | 1 -> Churn.Join v
+           | 2 -> Churn.Sleep v
+           | 3 -> Churn.Wake v
+           | (4 | 5) when Array.length edges = 0 -> Churn.Crash v
+           | 4 ->
+               let p, q = link () in
+               Churn.Link_down (p, q)
+           | 5 ->
+               let p, q = link () in
+               Churn.Link_up (p, q)
+           | _ -> Churn.Corrupt v
+         in
+         (1 + (round mod 12), [ ev ]))
+       c.plan)
+
+let run_case c =
+  let graph = build_graph c in
+  let n = Graph.node_count graph in
+  let module Q =
+    Adversary.Wrap
+      (P)
+      (struct
+        type message = Distributed.message
+
+        let key = Rng.key ~seed:(c.seed + 7)
+        let roles = build_roles c n
+        let from_round = 1 + (c.from_round mod 12)
+        let forge = Distributed.forge
+      end)
+  in
+  let module E = Engine.Make (Q) in
+  let channel = build_channel c in
+  let scheduler = build_scheduler c in
+  let churn = build_plan c graph in
+  let exec mode =
+    let rng = Rng.create ~seed:c.seed in
+    E.run ~mode ~scheduler ~channel ~max_rounds:40 ~quiet_rounds:2 ~churn
+      ~corrupt:(Q.lift_corrupt Distributed.corrupt)
+      rng graph
+  in
+  let dense = exec E.Dense in
+  let sparse =
+    exec (E.Sparse { warm = Some (Q.warm Distributed.pending_expiry) })
+  in
+  let states_agree =
+    Array.for_all2
+      (fun a b -> Q.equal_state a b)
+      dense.E.states sparse.E.states
+  in
+  states_agree
+  && dense.E.rounds = sparse.E.rounds
+  && dense.E.converged = sparse.E.converged
+  && dense.E.last_change_round = sparse.E.last_change_round
+  && dense.E.change_history = sparse.E.change_history
+  && dense.E.alive = sparse.E.alive
+  && dense.E.bursts = sparse.E.bursts
+  && dense.E.faults = sparse.E.faults
+
+let print_case c =
+  Printf.sprintf
+    "seed=%d graph=%d size=%d channel=%d sched=%d from=%d byz=[%s] plan=[%s]"
+    c.seed c.graph_kind c.size c.channel_kind c.sched_kind c.from_round
+    (String.concat "; "
+       (List.map (fun (p, b) -> Printf.sprintf "(%d,%d)" p b) c.byz))
+    (String.concat "; "
+       (List.map
+          (fun (r, k, v) -> Printf.sprintf "(%d,%d,%d)" r k v)
+          c.plan))
+
+let gen_case =
+  QCheck.Gen.(
+    map
+      (fun ((seed, graph_kind, size), (channel_kind, sched_kind, from_round),
+            byz, plan) ->
+        { seed; graph_kind; size; channel_kind; sched_kind; from_round;
+          byz; plan })
+      (quad
+         (triple (int_range 0 999_999) (int_range 0 3) (int_range 4 20))
+         (triple (int_range 0 3) (int_range 0 2) (int_range 0 11))
+         (list_size (int_range 1 4)
+            (pair (int_range 0 999) (int_range 0 3)))
+         (list_size (int_range 0 8)
+            (triple (int_range 0 11) (int_range 0 6) (int_range 0 999)))))
+
+(* Shrink the churn plan first, then the roster, then the topology;
+   channel/scheduler/behavior selectors stay fixed so the shrunk case
+   still exercises the failing configuration. *)
+let shrink_case c yield =
+  QCheck.Shrink.list c.plan (fun plan -> yield { c with plan });
+  QCheck.Shrink.list c.byz (fun byz ->
+      if byz <> [] then yield { c with byz });
+  if c.size > 4 then
+    QCheck.Shrink.int c.size (fun size ->
+        if size >= 4 then yield { c with size })
+
+let arb_case = QCheck.make ~print:print_case ~shrink:shrink_case gen_case
+
+let prop_sparse_equals_dense =
+  QCheck.Test.make
+    ~name:"adversary: sparse run = dense run (all observables)" ~count:300
+    arb_case run_case
+
+(* ------------------------------------------------------- transparency *)
+
+let test_empty_roster_transparent () =
+  (* Wrap with no Byzantine nodes must be the identity transformer: same
+     projected states, same trajectory, on a lossy channel too. *)
+  let module Q =
+    Adversary.Wrap
+      (P)
+      (struct
+        type message = Distributed.message
+
+        let key = Rng.key ~seed:99
+        let roles = []
+        let from_round = 1
+        let forge = Distributed.forge
+      end)
+  in
+  let module EQ = Engine.Make (Q) in
+  let module EP = Engine.Make (P) in
+  List.iter
+    (fun channel ->
+      let graph = Builders.geometric_grid ~cols:5 ~rows:4 ~radius:0.45 in
+      let wrapped =
+        EQ.run ~channel ~quiet_rounds:4 ~max_rounds:600
+          (Rng.create ~seed:21) graph
+      in
+      let raw =
+        EP.run ~channel ~quiet_rounds:4 ~max_rounds:600
+          (Rng.create ~seed:21) graph
+      in
+      Alcotest.(check bool) "same states" true
+        (Array.for_all2
+           (fun a b -> P.equal_state (Q.project a) b)
+           wrapped.EQ.states raw.EP.states);
+      Alcotest.(check int) "same rounds" raw.EP.rounds wrapped.EQ.rounds;
+      Alcotest.(check bool) "same convergence" raw.EP.converged
+        wrapped.EQ.converged;
+      Alcotest.(check (list int)) "same change history" raw.EP.change_history
+        wrapped.EQ.change_history)
+    [ Channel.perfect; Channel.bernoulli 0.7 ]
+
+(* --------------------------------------------------- containment pins *)
+
+let config = Distributed.default_params.Distributed.algo
+let quiet_rounds = Distributed.default_params.Distributed.cache_ttl + 2
+
+let test_stuck_clean_region_stays_legitimate () =
+  (* A Stuck node replaying its round-5 emission forever, on a perfect
+     channel: the rest of the network must reach legitimacy and hold it
+     everywhere beyond the containment horizon — the strict-stabilization
+     bar for this adversary class. *)
+  let graph = Builders.geometric_grid ~cols:5 ~rows:4 ~radius:0.45 in
+  let n = Graph.node_count graph in
+  let ids = Array.init n Fun.id in
+  let byz = [ 7 ] in
+  let from_round = 5 in
+  let horizon = 2 in
+  let module Q =
+    Adversary.Wrap
+      (P)
+      (struct
+        type message = Distributed.message
+
+        let key = Rng.key ~seed:33
+        let roles = List.map (fun p -> (p, Adversary.Stuck)) byz
+        let from_round = from_round
+        let forge = Distributed.forge
+      end)
+  in
+  let module E = Engine.Make (Q) in
+  let adversary =
+    {
+      Monitor.dist = Adversary.distances graph byz;
+      horizon;
+      active_from = from_round;
+    }
+  in
+  let monitor =
+    Invariants.monitor_via ~adversary ~project:Q.project ~config ~ids ()
+  in
+  let result =
+    E.run ~channel:Channel.perfect ~quiet_rounds ~max_rounds:1_500
+      ~on_round:(Monitor.on_round monitor)
+      ~probe:(Monitor.probe monitor)
+      (Rng.create ~seed:33) graph
+  in
+  let rep = Monitor.report monitor ~converged:result.E.converged in
+  match rep.Monitor.containment with
+  | None -> Alcotest.fail "expected containment metrics"
+  | Some c ->
+      Alcotest.(check bool) "clean region legitimate at the end" true
+        c.Monitor.contained;
+      Alcotest.(check bool) "containment round recorded" true
+        (c.Monitor.time_to_containment <> None);
+      Alcotest.(check bool) "rounds tracked from activation" true
+        (c.Monitor.tracked_rounds > 0)
+
+(* The mute pin runs on a toy protocol where the blast radius is exactly
+   computable: floodmax on a path with the max holder silenced. *)
+module Floodmax = struct
+  type state = int
+  type message = int
+
+  let init _rng graph p = Graph.node_count graph - p
+  let emit _graph _p st = st
+
+  let handle _rng _graph _p st msgs =
+    List.fold_left (fun acc (_, v) -> max acc v) st msgs
+
+  let equal_state = Int.equal
+end
+
+let test_mute_is_a_silenced_node () =
+  (* Node 0 holds the global max (n) and is Mute from round 1: its value
+     never propagates, the rest floods the runner-up (n - 1), and node 0
+     itself still hears its neighbor — receiving works, sending does
+     not. *)
+  let n = 6 in
+  let module Q =
+    Adversary.Wrap
+      (Floodmax)
+      (struct
+        type message = int
+
+        let key = Rng.key ~seed:3
+        let roles = [ (0, Adversary.Mute) ]
+        let from_round = 1
+        let forge = fun _ _ m -> m
+      end)
+  in
+  let module E = Engine.Make (Q) in
+  let g = Builders.path n in
+  let result = E.run (Rng.create ~seed:3) g in
+  Alcotest.(check bool) "converged" true result.E.converged;
+  let states = Array.map Q.project result.E.states in
+  Alcotest.(check (array int)) "max never escapes the mute node"
+    (Array.init n (fun p -> if p = 0 then n else n - 1))
+    states
+
+(* ----------------------------------------------- BFS and validations *)
+
+let test_distances () =
+  let g = Builders.path 5 in
+  Alcotest.(check (array int)) "single source" [| 0; 1; 2; 3; 4 |]
+    (Adversary.distances g [ 0 ]);
+  Alcotest.(check (array int)) "multi source" [| 0; 1; 2; 1; 0 |]
+    (Adversary.distances g [ 0; 4 ]);
+  Alcotest.(check (array int)) "empty roster: everything unreachable"
+    (Array.make 5 Traversal.unreachable)
+    (Adversary.distances g []);
+  Alcotest.check_raises "out-of-range source"
+    (Invalid_argument "Adversary.distances: node 9 outside graph (5 nodes)")
+    (fun () -> ignore (Adversary.distances g [ 9 ]))
+
+let test_wrap_validation () =
+  Alcotest.check_raises "duplicate roster entry"
+    (Invalid_argument "Adversary.Wrap: node 1 listed twice in roles")
+    (fun () ->
+      let module _ =
+        Adversary.Wrap
+          (Floodmax)
+          (struct
+            type message = int
+
+            let key = Rng.key ~seed:1
+            let roles = [ (1, Adversary.Mute); (1, Adversary.Liar) ]
+            let from_round = 1
+            let forge = fun _ _ m -> m
+          end)
+      in
+      ());
+  Alcotest.check_raises "from_round < 1"
+    (Invalid_argument "Adversary.Wrap: from_round must be >= 1")
+    (fun () ->
+      let module _ =
+        Adversary.Wrap
+          (Floodmax)
+          (struct
+            type message = int
+
+            let key = Rng.key ~seed:1
+            let roles = []
+            let from_round = 0
+            let forge = fun _ _ m -> m
+          end)
+      in
+      ());
+  let module Q =
+    Adversary.Wrap
+      (Floodmax)
+      (struct
+        type message = int
+
+        let key = Rng.key ~seed:1
+        let roles = [ (7, Adversary.Mute) ]
+        let from_round = 1
+        let forge = fun _ _ m -> m
+      end)
+  in
+  let module E = Engine.Make (Q) in
+  Alcotest.check_raises "roster node outside graph"
+    (Invalid_argument "Adversary.Wrap: Byzantine node 7 outside graph (3 nodes)")
+    (fun () -> ignore (E.run (Rng.create ~seed:1) (Builders.path 3)))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_sparse_equals_dense ]
+
+let suite =
+  [
+    Alcotest.test_case "empty roster is transparent" `Quick
+      test_empty_roster_transparent;
+    Alcotest.test_case "stuck: clean region stays legitimate" `Quick
+      test_stuck_clean_region_stays_legitimate;
+    Alcotest.test_case "mute = silenced node" `Quick
+      test_mute_is_a_silenced_node;
+    Alcotest.test_case "distances (multi-source BFS)" `Quick test_distances;
+    Alcotest.test_case "wrap validation" `Quick test_wrap_validation;
+  ]
+  @ qcheck_cases

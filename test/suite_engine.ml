@@ -196,7 +196,9 @@ let round_key i = Rng.subkey (Rng.key ~seed:90) i
 let test_channel_perfect () =
   let g = Builders.path 2 in
   for i = 1 to 100 do
-    let plan = Channel.round_plan Channel.perfect ~key:(round_key i) ~graph:g in
+    let plan =
+      Channel.round_plan Channel.perfect ~key:(round_key i) ~round:i ~graph:g
+    in
     Alcotest.(check bool) "always delivers" true (plan ~src:0 ~dst:1)
   done
 
@@ -206,7 +208,7 @@ let test_channel_bernoulli_rate () =
   let hits = ref 0 in
   let draws = 20_000 in
   for i = 1 to draws do
-    let plan = Channel.round_plan channel ~key:(round_key i) ~graph:g in
+    let plan = Channel.round_plan channel ~key:(round_key i) ~round:i ~graph:g in
     if plan ~src:0 ~dst:1 then incr hits
   done;
   let rate = float_of_int !hits /. float_of_int draws in
@@ -225,13 +227,13 @@ let test_channel_slotted_consistency () =
   let g = Builders.complete 5 in
   let channel = Channel.slotted ~slots:4 in
   for i = 1 to 50 do
-    let plan = Channel.round_plan channel ~key:(round_key i) ~graph:g in
+    let plan = Channel.round_plan channel ~key:(round_key i) ~round:i ~graph:g in
     Graph.iter_edges g (fun p q ->
         Alcotest.(check bool) "stable within plan" (plan ~src:q ~dst:p)
           (plan ~src:q ~dst:p));
     (* Counter-keying: rebuilding the plan from the same key replays the
        identical window, regardless of query order or coverage. *)
-    let replay = Channel.round_plan channel ~key:(round_key i) ~graph:g in
+    let replay = Channel.round_plan channel ~key:(round_key i) ~round:i ~graph:g in
     Graph.iter_edges g (fun p q ->
         Alcotest.(check bool) "replayable from key" (plan ~src:q ~dst:p)
           (replay ~src:q ~dst:p))
@@ -242,7 +244,8 @@ let test_channel_slotted_single_slot_blocks_everything () =
      where each receiver has another neighbor, nothing gets through. *)
   let g = Builders.complete 4 in
   let plan =
-    Channel.round_plan (Channel.slotted ~slots:1) ~key:(round_key 1) ~graph:g
+    Channel.round_plan (Channel.slotted ~slots:1) ~key:(round_key 1) ~round:1
+      ~graph:g
   in
   Graph.iter_edges g (fun p q ->
       Alcotest.(check bool) "all collide" false (plan ~src:q ~dst:p))
@@ -255,7 +258,7 @@ let test_channel_slotted_pair_delivery_rate () =
   let hits = ref 0 in
   let draws = 20_000 in
   for i = 1 to draws do
-    let plan = Channel.round_plan channel ~key:(round_key i) ~graph:g in
+    let plan = Channel.round_plan channel ~key:(round_key i) ~round:i ~graph:g in
     if plan ~src:0 ~dst:1 then incr hits
   done;
   let rate = float_of_int !hits /. float_of_int draws in
@@ -267,7 +270,11 @@ let test_channel_slotted_more_slots_better () =
     let channel = Channel.slotted ~slots in
     let hits = ref 0 and total = ref 0 in
     for i = 1 to 2000 do
-      let plan = Channel.round_plan channel ~key:(round_key (slots + (8 * i))) ~graph:g in
+      let plan =
+        Channel.round_plan channel
+          ~key:(round_key (slots + (8 * i)))
+          ~round:i ~graph:g
+      in
       Graph.iter_edges g (fun p q ->
           incr total;
           if plan ~src:q ~dst:p then incr hits)
@@ -329,7 +336,7 @@ let test_channel_jammed () =
     Ss_geom.Bbox.make ~min_x:0.5 ~min_y:0.5 ~max_x:1.0 ~max_y:1.0
   in
   let channel = Channel.jammed ~tau:1.0 ~region ~jam_tau:0.0 in
-  let plan = Channel.round_plan channel ~key:(round_key 1) ~graph:g in
+  let plan = Channel.round_plan channel ~key:(round_key 1) ~round:1 ~graph:g in
   Alcotest.(check bool) "outside region receives" true (plan ~src:1 ~dst:0);
   Alcotest.(check bool) "inside region jammed" false (plan ~src:0 ~dst:1)
 
@@ -347,7 +354,8 @@ let test_channel_jammed_needs_positions () =
        "Channel.round_plan: Jammed channel needs node positions (build the \
         graph with ~positions)") (fun () ->
       ignore
-        (Channel.round_plan channel ~key:(round_key 1) ~graph:g ~src:0 ~dst:1
+        (Channel.round_plan channel ~key:(round_key 1) ~round:1 ~graph:g ~src:0
+           ~dst:1
           : bool))
 
 (* ----------------------------------------- per-edge channel statistics *)
@@ -364,7 +372,9 @@ let per_edge_counts ~seed ~rounds ~graph ~channel =
   let counts = Array.make_matrix n n 0 in
   let base = Rng.key ~seed in
   for i = 1 to rounds do
-    let plan = Channel.round_plan channel ~key:(Rng.subkey base i) ~graph in
+    let plan =
+      Channel.round_plan channel ~key:(Rng.subkey base i) ~round:i ~graph
+    in
     Graph.iter_edges graph (fun p q ->
         if plan ~src:q ~dst:p then counts.(q).(p) <- counts.(q).(p) + 1;
         if plan ~src:p ~dst:q then counts.(p).(q) <- counts.(p).(q) + 1)
@@ -481,6 +491,184 @@ let test_schedulers_domain_identity () =
         (compare (run 1) (run 4) = 0))
     all_schedulers
 
+(* ------------------------------------------ states-length validation *)
+
+let test_states_length_validated () =
+  (* A partial override array would silently leave tail nodes
+     uninitialized; the length must match the graph exactly. *)
+  let g = Builders.path 3 in
+  Alcotest.check_raises "length mismatch rejected"
+    (Invalid_argument
+       "Engine.run: ~states has 2 entries but the graph has 3 nodes")
+    (fun () -> ignore (E.run ~states:[| 5; 5 |] (rng ()) g))
+
+(* --------------------------------------------- jammed-region geometry *)
+
+let test_channel_jammed_whole_square_blackout () =
+  (* Every receiver sits inside the jammed region at jam_tau = 0: the
+     whole deployment goes dark, in both directions of every edge. *)
+  let g = Builders.geometric_grid ~cols:4 ~rows:3 ~radius:0.6 in
+  let region =
+    Ss_geom.Bbox.make ~min_x:(-0.1) ~min_y:(-0.1) ~max_x:1.1 ~max_y:1.1
+  in
+  let channel = Channel.jammed ~tau:1.0 ~region ~jam_tau:0.0 in
+  for i = 1 to 20 do
+    let plan = Channel.round_plan channel ~key:(round_key i) ~round:i ~graph:g in
+    Graph.iter_edges g (fun p q ->
+        Alcotest.(check bool) "nothing delivered" false (plan ~src:p ~dst:q);
+        Alcotest.(check bool) "nothing delivered (reverse)" false
+          (plan ~src:q ~dst:p))
+  done
+
+(* A region disjoint from the deployment square must be a no-op: the
+   jammed plan degenerates to bernoulli tau on the very same key stream,
+   edge for edge. Guards the key-derivation sharing between the two
+   constructors. *)
+let prop_jammed_disjoint_is_bernoulli =
+  QCheck.Test.make ~name:"jammed: disjoint region = bernoulli tau" ~count:100
+    QCheck.(pair (int_range 0 99_999) (float_bound_inclusive 1.0))
+    (fun (seed, tau) ->
+      let g = Builders.geometric_grid ~cols:4 ~rows:3 ~radius:0.6 in
+      let region =
+        Ss_geom.Bbox.make ~min_x:5.0 ~min_y:5.0 ~max_x:6.0 ~max_y:6.0
+      in
+      let jam = Channel.jammed ~tau ~region ~jam_tau:0.0 in
+      let bern = Channel.bernoulli tau in
+      let ok = ref true in
+      for round = 1 to 10 do
+        let key = Rng.subkey (Rng.key ~seed) round in
+        let jp = Channel.round_plan jam ~key ~round ~graph:g in
+        let bp = Channel.round_plan bern ~key ~round ~graph:g in
+        Graph.iter_edges g (fun p q ->
+            if jp ~src:p ~dst:q <> bp ~src:p ~dst:q then ok := false;
+            if jp ~src:q ~dst:p <> bp ~src:q ~dst:p then ok := false)
+      done;
+      !ok)
+
+(* --------------------------------------------------- asymmetric links *)
+
+let test_channel_asymmetric_directional () =
+  let g = Builders.complete 6 in
+  let channel = Channel.asymmetric ~seed:5 ~tau_lo:0.1 ~tau_hi:0.9 in
+  Graph.iter_edges g (fun p q ->
+      List.iter
+        (fun (src, dst) ->
+          let t = Channel.directional_tau channel ~src ~dst in
+          Alcotest.(check bool) "tau in [lo, hi]" true (t >= 0.1 && t <= 0.9);
+          Alcotest.(check (float 0.)) "tau stable per direction" t
+            (Channel.directional_tau channel ~src ~dst))
+        [ (p, q); (q, p) ]);
+  (* The point of the channel: some link must actually be asymmetric. *)
+  let asym = ref false in
+  Graph.iter_edges g (fun p q ->
+      let fwd = Channel.directional_tau channel ~src:p ~dst:q in
+      let bwd = Channel.directional_tau channel ~src:q ~dst:p in
+      if Float.abs (fwd -. bwd) > 0.05 then asym := true);
+  Alcotest.(check bool) "directions differ somewhere" true !asym
+
+let test_channel_asymmetric_rates () =
+  (* Each direction's empirical delivery rate matches its own
+     directional tau, not the midpoint. *)
+  let g = Builders.path 2 in
+  let channel = Channel.asymmetric ~seed:6 ~tau_lo:0.2 ~tau_hi:0.9 in
+  let rate src dst =
+    let hits = ref 0 in
+    let draws = 20_000 in
+    for i = 1 to draws do
+      let plan = Channel.round_plan channel ~key:(round_key i) ~round:i ~graph:g in
+      if plan ~src ~dst then incr hits
+    done;
+    float_of_int !hits /. float_of_int draws
+  in
+  List.iter
+    (fun (src, dst) ->
+      let expect = Channel.directional_tau channel ~src ~dst in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d->%d near its directional tau" src dst)
+        true
+        (Float.abs (rate src dst -. expect) < 0.02))
+    [ (0, 1); (1, 0) ]
+
+(* ------------------------------------------- bursty (Gilbert-Elliott) *)
+
+let test_channel_bursty_plan_replay () =
+  (* The chain state is a pure function of (channel, edge, round):
+     rebuilding the plan replays the identical window — what the sparse
+     executor's delivery diff relies on. *)
+  let g = Builders.complete 5 in
+  let channel =
+    Channel.bursty ~seed:9 ~tau_good:0.9 ~tau_bad:0.2 ~p_fade:0.1
+      ~p_recover:0.3
+  in
+  for i = 1 to 60 do
+    let plan = Channel.round_plan channel ~key:(round_key i) ~round:i ~graph:g in
+    let replay =
+      Channel.round_plan channel ~key:(round_key i) ~round:i ~graph:g
+    in
+    Graph.iter_edges g (fun p q ->
+        Alcotest.(check bool) "replayable" (plan ~src:p ~dst:q)
+          (replay ~src:p ~dst:q))
+  done
+
+let test_channel_bursty_extremes_track_chain () =
+  (* tau_good = 1, tau_bad = 0: delivery is exactly the chain state. *)
+  let g = Builders.path 2 in
+  let channel =
+    Channel.bursty ~seed:10 ~tau_good:1.0 ~tau_bad:0.0 ~p_fade:0.2
+      ~p_recover:0.4
+  in
+  for i = 1 to 500 do
+    let plan = Channel.round_plan channel ~key:(round_key i) ~round:i ~graph:g in
+    Alcotest.(check bool) "delivery = good state"
+      (not (Channel.bursty_bad channel ~src:0 ~dst:1 ~round:i))
+      (plan ~src:0 ~dst:1)
+  done
+
+let test_channel_bursty_stationary_fraction () =
+  let p_fade = 0.05 and p_recover = 0.25 in
+  let channel =
+    Channel.bursty ~seed:11 ~tau_good:1.0 ~tau_bad:0.0 ~p_fade ~p_recover
+  in
+  let rounds = 40_000 in
+  let bad = ref 0 in
+  for i = 1 to rounds do
+    if Channel.bursty_bad channel ~src:0 ~dst:1 ~round:i then incr bad
+  done;
+  let frac = float_of_int !bad /. float_of_int rounds in
+  let expect = p_fade /. (p_fade +. p_recover) in
+  Alcotest.(check bool) "near stationary P(bad)" true
+    (Float.abs (frac -. expect) < 0.03)
+
+let test_channel_bursty_runs_are_bursty () =
+  (* The whole point over bernoulli: fades persist. P(bad at r+1 | bad
+     at r) ~ 1 - p_recover = 0.75, far above the stationary 1/6. *)
+  let channel =
+    Channel.bursty ~seed:12 ~tau_good:1.0 ~tau_bad:0.0 ~p_fade:0.05
+      ~p_recover:0.25
+  in
+  let rounds = 40_000 in
+  let bad = ref 0 and stayed = ref 0 in
+  for i = 1 to rounds - 1 do
+    if Channel.bursty_bad channel ~src:0 ~dst:1 ~round:i then begin
+      incr bad;
+      if Channel.bursty_bad channel ~src:0 ~dst:1 ~round:(i + 1) then
+        incr stayed
+    end
+  done;
+  let cond = float_of_int !stayed /. float_of_int (max 1 !bad) in
+  Alcotest.(check bool) "fades persist" true (cond > 0.5)
+
+let test_channel_asym_bursty_validation () =
+  Alcotest.check_raises "asymmetric bounds ordered"
+    (Invalid_argument "Channel.asymmetric: need 0 <= tau_lo <= tau_hi <= 1")
+    (fun () -> ignore (Channel.asymmetric ~seed:1 ~tau_lo:0.8 ~tau_hi:0.2));
+  Alcotest.check_raises "bursty degenerate chain"
+    (Invalid_argument "Channel.bursty: p_fade + p_recover must be positive")
+    (fun () ->
+      ignore
+        (Channel.bursty ~seed:1 ~tau_good:1.0 ~tau_bad:0.0 ~p_fade:0.0
+           ~p_recover:0.0))
+
 let suite =
   [
     Alcotest.test_case "floodmax converges" `Quick test_floodmax_converges;
@@ -531,4 +719,23 @@ let suite =
       test_schedulers_converge_distributed;
     Alcotest.test_case "scheduler domain identity" `Slow
       test_schedulers_domain_identity;
+    Alcotest.test_case "states length validated" `Quick
+      test_states_length_validated;
+    Alcotest.test_case "jammed whole square blacks out" `Quick
+      test_channel_jammed_whole_square_blackout;
+    Alcotest.test_case "asymmetric directional taus" `Quick
+      test_channel_asymmetric_directional;
+    Alcotest.test_case "asymmetric per-direction rates" `Slow
+      test_channel_asymmetric_rates;
+    Alcotest.test_case "bursty plan replayable" `Quick
+      test_channel_bursty_plan_replay;
+    Alcotest.test_case "bursty delivery tracks chain" `Quick
+      test_channel_bursty_extremes_track_chain;
+    Alcotest.test_case "bursty stationary fraction" `Slow
+      test_channel_bursty_stationary_fraction;
+    Alcotest.test_case "bursty fades persist" `Slow
+      test_channel_bursty_runs_are_bursty;
+    Alcotest.test_case "asymmetric/bursty validation" `Quick
+      test_channel_asym_bursty_validation;
   ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_jammed_disjoint_is_bernoulli ]

@@ -312,6 +312,7 @@ let good_cell =
     c_channel = Channel.perfect;
     c_crash = 0.0;
     c_scheduler = Scheduler.Synchronous;
+    c_byz = None;
   }
 
 let campaign_spec = Scenario.uniform ~count:40 ~radius:0.2 ()
@@ -322,7 +323,8 @@ let test_campaign_good_cell_zero_post_recovery () =
      violations. *)
   let row =
     Exp_campaign.run_cell ~seed:11 ~runs:2 ~sparse:false ~spec:campaign_spec
-      ~max_rounds:2_000 ~burst_round:40 good_cell
+      ~max_rounds:2_000 ~burst_round:40 ~horizon:Exp_campaign.default_horizon
+      good_cell
   in
   Alcotest.(check int) "all runs converge" 2 row.Exp_campaign.converged;
   Alcotest.(check int) "no raising runs" 0 row.Exp_campaign.failed;
@@ -338,8 +340,9 @@ let test_campaign_starved_cell_still_changing () =
   (* Acceptance: a round budget far below cold-start convergence must be
      classified Still_changing, never a silent non-convergence. *)
   let row =
-    Exp_campaign.run_cell ~seed:11 ~runs:2 ~sparse:false ~spec:campaign_spec ~max_rounds:4
-      ~burst_round:40 good_cell
+    Exp_campaign.run_cell ~seed:11 ~runs:2 ~sparse:false ~spec:campaign_spec
+      ~max_rounds:4 ~burst_round:40 ~horizon:Exp_campaign.default_horizon
+      good_cell
   in
   Alcotest.(check int) "nothing converges in 4 rounds" 0
     row.Exp_campaign.converged;
@@ -364,6 +367,7 @@ let test_campaign_survives_raising_cells () =
           g_channels = [ Channel.perfect; Channel.slotted ~slots:12 ];
           g_crash = [ 0.0 ];
           g_schedulers = [ Scheduler.Synchronous ];
+          g_byz = [ None ];
         }
       ~max_rounds:(-1) ()
   in
