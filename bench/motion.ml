@@ -1,0 +1,188 @@
+(* Incremental-vs-full unit-disk maintenance under continuous motion: a
+   pedestrian fleet drifts through a field of parked nodes (10% mobile —
+   the moving-fringe regime the incremental maintainer is built for:
+   think vehicles or people crossing a deployed sensor field) for a fixed
+   number of rounds; per round the incremental path re-buckets and
+   re-queries only the moved nodes while the reference path rebuilds the
+   whole unit-disk graph from scratch.
+
+   Before any timing is reported, a third untimed pass cross-checks the
+   two graph sequences round by round for structural equality
+   (Graph.equal: identical sorted adjacency rows). A divergence exits
+   non-zero — a wrong fast maintainer is worthless.
+
+     dune exec bench/motion.exe            # 10k nodes, writes BENCH_motion.json
+     dune exec bench/motion.exe -- --smoke # miniature identity check for CI *)
+
+module Graph = Ss_topology.Graph
+module Motion = Ss_topology.Motion
+module Rng = Ss_prng.Rng
+module Bbox = Ss_geom.Bbox
+module Model = Ss_mobility.Model
+module Fleet = Ss_mobility.Fleet
+
+let seed = 2026
+
+type config = {
+  label : string;
+  count : int; (* nodes in the unit square *)
+  mobile : int; (* the first [mobile] nodes walk; the rest are parked *)
+  radius : float; (* unit-disk transmission range *)
+  rounds : int; (* benched rounds after warmup *)
+  dt : float; (* simulated seconds per round *)
+  warmup : float; (* seconds stepped before the bench so walk legs mix *)
+}
+
+let full =
+  {
+    label = "full";
+    count = 10_000;
+    mobile = 1_000;
+    radius = 0.02;
+    rounds = 400;
+    dt = 1.0;
+    warmup = 120.0;
+  }
+
+let smoke =
+  {
+    label = "smoke";
+    count = 500;
+    mobile = 50;
+    radius = 0.08;
+    rounds = 60;
+    dt = 1.0;
+    warmup = 60.0;
+  }
+
+(* The paper's pedestrian regime: random walk at 0-1.6 m/s. *)
+let model = Model.pedestrian
+
+(* Identical worlds for every pass: same seed -> same deployment, same
+   per-node trajectory streams. The fleet covers the first [mobile]
+   nodes only (fleet index = node index); the parked majority never
+   moves, so the maintainer's per-round work is the fringe. *)
+let make_world cfg =
+  let rng = Rng.create ~seed in
+  let positions =
+    Array.init cfg.count (fun _ -> Bbox.sample rng Bbox.unit_square)
+  in
+  let fleet =
+    Fleet.create rng ~model ~box:Bbox.unit_square
+      (Array.sub positions 0 cfg.mobile)
+  in
+  Fleet.step fleet cfg.warmup;
+  Fleet.iter_positions fleet (fun i p -> positions.(i) <- p);
+  (fleet, positions)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (Unix.gettimeofday () -. t0, v)
+
+(* Pass A: incremental maintenance — step the fleet, feed exactly the
+   moved nodes to the maintainer, flush. Returns total moved-node count
+   so the report can state how large the fringe actually was. *)
+let run_incremental cfg =
+  let fleet, positions = make_world cfg in
+  let motion = Motion.create ~radius:cfg.radius positions in
+  let moved_total = ref 0 in
+  let flips_total = ref 0 in
+  for _ = 1 to cfg.rounds do
+    let moved =
+      Fleet.step_moved fleet cfg.dt (fun i p -> Motion.move motion i p)
+    in
+    moved_total := !moved_total + moved;
+    let diff = Motion.flush motion in
+    flips_total :=
+      !flips_total
+      + List.length diff.Motion.added
+      + List.length diff.Motion.removed
+  done;
+  (!moved_total, !flips_total)
+
+(* Pass B: the reference — rebuild the whole unit-disk graph from the
+   fleet's current positions every round. One reused position buffer so
+   the comparison is maintenance cost, not allocation noise. *)
+let run_full cfg =
+  let fleet, buf = make_world cfg in
+  let last = ref (Graph.unit_disk ~radius:cfg.radius buf) in
+  for _ = 1 to cfg.rounds do
+    Fleet.step fleet cfg.dt;
+    Fleet.iter_positions fleet (fun i p -> buf.(i) <- p);
+    last := Graph.unit_disk ~radius:cfg.radius buf
+  done;
+  Graph.edge_count !last
+
+(* Pass C (untimed): both maintainers in lockstep, structural equality
+   every round. *)
+let cross_check cfg =
+  let fleet, buf = make_world cfg in
+  let motion = Motion.create ~radius:cfg.radius buf in
+  let ok = ref (Graph.equal (Motion.graph motion)
+                  (Graph.unit_disk ~radius:cfg.radius buf)) in
+  let r = ref 0 in
+  while !ok && !r < cfg.rounds do
+    incr r;
+    ignore (Fleet.step_moved fleet cfg.dt (fun i p -> Motion.move motion i p));
+    ignore (Motion.flush motion);
+    Fleet.iter_positions fleet (fun i p -> buf.(i) <- p);
+    let reference = Graph.unit_disk ~radius:cfg.radius buf in
+    if not (Graph.equal (Motion.graph motion) reference) then begin
+      Fmt.epr "IDENTITY MISMATCH: round %d incremental != full rebuild@." !r;
+      ok := false
+    end
+  done;
+  !ok
+
+let bench cfg =
+  let _, positions = make_world cfg in
+  let g0 = Graph.unit_disk ~radius:cfg.radius positions in
+  Fmt.pr "%s: %d nodes (%d mobile), %d edges, %d rounds of pedestrian walk@."
+    cfg.label (Graph.node_count g0) cfg.mobile (Graph.edge_count g0)
+    cfg.rounds;
+  let identical = cross_check cfg in
+  let inc_t, (moved, flips) = time (fun () -> run_incremental cfg) in
+  let full_t, _ = time (fun () -> run_full cfg) in
+  let speedup = full_t /. inc_t in
+  let fringe =
+    float_of_int moved /. float_of_int (cfg.rounds * cfg.count)
+  in
+  Fmt.pr
+    "  incremental: %.3fs  full: %.3fs  speedup: %.1fx  moving fringe: \
+     %.1f%%  edge flips: %d  identical: %b@."
+    inc_t full_t speedup (100.0 *. fringe) flips identical;
+  (inc_t, full_t, speedup, fringe, flips, identical)
+
+let json cfg (inc_t, full_t, speedup, fringe, flips, identical) =
+  Printf.sprintf
+    "{\n\
+    \  \"seed\": %d,\n\
+    \  \"nodes\": %d,\n\
+    \  \"mobile\": %d,\n\
+    \  \"radius\": %.3f,\n\
+    \  \"rounds\": %d,\n\
+    \  \"moving_fringe\": %.4f,\n\
+    \  \"edge_flips\": %d,\n\
+    \  \"incremental_seconds\": %.4f,\n\
+    \  \"full_seconds\": %.4f,\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"identical\": %b\n\
+     }\n"
+    seed cfg.count cfg.mobile cfg.radius cfg.rounds fringe flips inc_t full_t
+    speedup identical
+
+let () =
+  let smoke_mode = Array.exists (( = ) "--smoke") Sys.argv in
+  let cfg = if smoke_mode then smoke else full in
+  let ((_, _, _, _, _, identical) as m) = bench cfg in
+  if not smoke_mode then begin
+    let oc = open_out "BENCH_motion.json" in
+    output_string oc (json cfg m);
+    close_out oc;
+    Fmt.pr "wrote BENCH_motion.json@."
+  end;
+  if not identical then begin
+    Fmt.epr "ERROR: incremental maintenance diverged from full rebuild@.";
+    exit 1
+  end

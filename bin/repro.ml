@@ -250,6 +250,72 @@ let churn_cmd =
       const run $ seed_arg $ runs_arg 5 $ jobs_arg $ sparse_arg
       $ churn_intensity_arg $ csv_arg)
 
+let motion_cmd =
+  let doc =
+    "Extension: cluster stability under continuous motion — the engine's \
+     per-round mobility hook drives random-walk and random-waypoint fleets \
+     at pedestrian (0-1.6 m/s) and vehicular (0-10 m/s) speeds over an \
+     incrementally maintained unit-disk topology; reports cluster-head \
+     lifetime, re-election rate and time-in-legitimacy vs speed."
+  in
+  let motion_intensity_arg =
+    let doc =
+      "Poisson intensity of the deployment (expected node count in the unit \
+       square)."
+    in
+    Arg.(value & opt float 300.0 & info [ "intensity" ] ~docv:"LAMBDA" ~doc)
+  in
+  let rounds_arg =
+    let doc =
+      "Round budget; every regime executes exactly this many rounds so the \
+       per-round metrics share a denominator."
+    in
+    Arg.(value & opt int 200 & info [ "rounds" ] ~docv:"ROUNDS" ~doc)
+  in
+  let dt_arg =
+    let doc = "Simulated seconds the fleet advances per engine round." in
+    Arg.(value & opt float 1.0 & info [ "dt" ] ~docv:"SECONDS" ~doc)
+  in
+  let tau_arg =
+    let doc =
+      "Per-frame delivery probability (Bernoulli channel); 1.0 is the \
+       perfect channel."
+    in
+    Arg.(value & opt float 1.0 & info [ "tau" ] ~docv:"TAU" ~doc)
+  in
+  let churn_flag_arg =
+    let doc =
+      "Additionally crash 20% of the nodes a third of the way in and rejoin \
+       them two thirds of the way in — discrete churn on top of the \
+       continuous rewiring."
+    in
+    Arg.(value & flag & info [ "churn" ] ~doc)
+  in
+  let run seed runs jobs sparse intensity rounds dt tau with_churn csv =
+    let spec = E.Scenario.poisson ~intensity ~radius:0.1 () in
+    let channel = Ss_radio.Channel.bernoulli tau in
+    let churn =
+      if with_churn then
+        Some
+          (Ss_engine.Churn.compose
+             [
+               Ss_engine.Churn.crash_fraction ~round:(rounds / 3)
+                 ~fraction:0.2;
+               Ss_engine.Churn.join_all ~round:(2 * rounds / 3);
+             ])
+      else None
+    in
+    output ~csv
+      (E.Exp_motion.to_table
+         (E.Exp_motion.run ~seed ~runs ~domains:jobs ~sparse ~spec ~channel
+            ?churn ~dt ~rounds ()))
+  in
+  Cmd.v (Cmd.info "motion" ~doc)
+    Term.(
+      const run $ seed_arg $ runs_arg 5 $ jobs_arg $ sparse_arg
+      $ motion_intensity_arg $ rounds_arg $ dt_arg $ tau_arg $ churn_flag_arg
+      $ csv_arg)
+
 let campaign_cmd =
   let doc =
     "Robustness: adversarial fault-campaign sweep over (corruption fraction \
@@ -409,6 +475,10 @@ let all_cmd =
     Fmt.pr "@.== Extension: within-run churn ==@.";
     E.Exp_churn.print ~seed ~runs:2
       ~spec:(E.Scenario.poisson ~intensity:150.0 ~radius:0.12 ())
+      ~domains ();
+    Fmt.pr "@.== Extension: continuous motion ==@.";
+    E.Exp_motion.print ~seed ~runs:2 ~rounds:80
+      ~spec:(E.Scenario.poisson ~intensity:150.0 ~radius:0.12 ())
       ~domains ()
   in
   Cmd.v (Cmd.info "all" ~doc) Term.(const run $ seed_arg $ jobs_arg)
@@ -423,8 +493,8 @@ let main_cmd =
     [
       table1_cmd; table2_cmd; table3_cmd; table4_cmd; table5_cmd;
       figures_cmd; mobility_cmd; selfstab_cmd; compare_cmd; energy_cmd;
-      hierarchy_cmd; bounds_cmd; links_cmd; churn_cmd; campaign_cmd;
-      adversary_cmd; all_cmd;
+      hierarchy_cmd; bounds_cmd; links_cmd; churn_cmd; motion_cmd;
+      campaign_cmd; adversary_cmd; all_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,9 +1,12 @@
 module Graph = Ss_topology.Graph
 module Dynamic = Ss_topology.Dynamic
+module Motion = Ss_topology.Motion
 module Channel = Ss_radio.Channel
 module Rng = Ss_prng.Rng
 
 type fault_report = { fault_round : int; corrupted : int list }
+
+type motion_hook = round:int -> (Graph.t * Motion.diff) option
 
 type round_info = {
   round : int;
@@ -327,7 +330,8 @@ module Make (P : Protocol.S) = struct
 
   let run ?(mode = Dense) ?(scheduler = Scheduler.Synchronous)
       ?(channel = Channel.perfect) ?(max_rounds = 10_000) ?(quiet_rounds = 1)
-      ?fault ?churn ?corrupt ?on_round ?on_event ?probe ?states rng graph =
+      ?fault ?churn ?corrupt ?motion ?on_round ?on_event ?probe ?states rng
+      graph =
     if max_rounds < 0 then invalid_arg "Engine.run: negative round budget";
     if quiet_rounds < 1 then invalid_arg "Engine.run: quiet_rounds must be >= 1";
     (* The base key is drawn first, so the keyed lanes are a pure function
@@ -371,6 +375,49 @@ module Make (P : Protocol.S) = struct
     let faults = ref [] in
     while (!quiet < quiet_rounds || !round < horizon) && !round < max_rounds do
       incr round;
+      (* Motion first: nodes drift, the base graph is rebased to the new
+         unit-disk topology, and churn below applies to the rewired links.
+         A round whose fleet moved without flipping any edge leaves the
+         base untouched (positions are live-aliased by the snapshots).
+         Edge flips count as topology disturbance for the quiescence test
+         but not as churn events — they are the environment, not a burst
+         to attribute recovery to. *)
+      let moved_links = ref 0 in
+      (match motion with
+      | None -> ()
+      | Some hook -> (
+          match hook ~round:!round with
+          | None -> ()
+          | Some (base', diff) ->
+              moved_links :=
+                List.length diff.Motion.added
+                + List.length diff.Motion.removed;
+              if !moved_links > 0 then
+                Dynamic.rebase dyn ~base:base' ~added:diff.Motion.added
+                  ~removed:diff.Motion.removed;
+              (match ctx with
+              | None -> ()
+              | Some c ->
+                  (* Every flipped edge disturbs both endpoints' inputs.
+                     On a position-dependent channel a node can be
+                     disturbed by pure movement (it drifted across the jam
+                     boundary), so moved nodes and their audiences join
+                     the frontier too — this also keeps the previous-plan
+                     replay honest: every unmarked node provably has both
+                     an unchanged row and unchanged relevant positions. *)
+                  let mark_edge (p, q) =
+                    mark_now c p;
+                    mark_now c q
+                  in
+                  List.iter mark_edge diff.Motion.added;
+                  List.iter mark_edge diff.Motion.removed;
+                  if Channel.position_dependent channel then
+                    let b = Dynamic.base dyn in
+                    List.iter
+                      (fun p ->
+                        mark_now c p;
+                        Array.iter (mark_now c) (Graph.neighbors b p))
+                      diff.Motion.moved)));
       let churn_corrupted = ref [] in
       let applied =
         match churn with
@@ -383,7 +430,7 @@ module Make (P : Protocol.S) = struct
                   | Churn.Corrupt p -> churn_corrupted := p :: !churn_corrupted
                   | _ -> ());
                   (match ctx with
-                  | Some c -> touch_event c graph states ev
+                  | Some c -> touch_event c (Dynamic.base dyn) states ev
                   | None -> ());
                   (match on_event with
                   | None -> ()
@@ -404,7 +451,7 @@ module Make (P : Protocol.S) = struct
         | Some inject -> inject ~round:!round ~states rng
       in
       (match ctx with
-      | Some c -> List.iter (touch_fault c graph states) victims
+      | Some c -> List.iter (touch_fault c (Dynamic.base dyn) states) victims
       | None -> ());
       (* Every corrupted node this round: churn [Corrupt] events in plan
          order, then the fault hook's victims. A fault round counts as a
@@ -437,7 +484,8 @@ module Make (P : Protocol.S) = struct
       (match probe with
       | None -> ()
       | Some f -> f ~round:!round ~graph:g ~alive:live states);
-      if changed > 0 || victims <> [] || applied > 0 then begin
+      if changed > 0 || victims <> [] || applied > 0 || !moved_links > 0
+      then begin
         quiet := 0;
         last_change := !round
       end

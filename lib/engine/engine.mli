@@ -22,6 +22,17 @@ type fault_report = {
   corrupted : int list;  (** same contents as {!round_info.corrupted} *)
 }
 
+type motion_hook =
+  round:int -> (Ss_topology.Graph.t * Ss_topology.Motion.diff) option
+(** Continuous-mobility feed, called once at the top of every round. Return
+    [None] on a round with nothing in motion (a frozen fleet costs
+    nothing); otherwise return the new base graph and the edge diff from
+    the previous round's base — exactly what {!Ss_topology.Motion.flush}
+    produces after stepping a fleet and reporting its moves. The graph
+    must cover the same node universe as the run's initial graph, which
+    should itself be the maintainer's starting snapshot so every round
+    shares the live position buffer. *)
+
 type burst = {
   burst_start : int;  (** first round of a maximal run of event rounds *)
   burst_end : int;  (** last round of the burst (= [burst_start] for a
@@ -93,6 +104,7 @@ module Make (P : Protocol.S) : sig
     ?fault:(round:int -> states:P.state array -> Ss_prng.Rng.t -> int list) ->
     ?churn:Churn.t ->
     ?corrupt:(Ss_prng.Rng.t -> int -> P.state -> P.state) ->
+    ?motion:motion_hook ->
     ?on_round:(round_info -> unit) ->
     ?on_event:(round:int -> Churn.event -> unit) ->
     ?probe:
@@ -111,7 +123,18 @@ module Make (P : Protocol.S) : sig
       through quiescence until the horizon passes, so scheduled storms
       always fire.
 
-      Per round, in order: [churn] events are applied to the dynamic
+      Per round, in order: [motion] fires first — when it reports edge
+      flips, the dynamic topology is {e rebased} onto the new unit-disk
+      graph (down-marks on links that left radio range are dropped; a
+      pair drifting back into range starts with the link up) and, in
+      sparse mode, both endpoints of every flipped edge join the dirty
+      frontier (plus, on a position-dependent channel such as [jammed],
+      every moved node and its audience — movement alone can change
+      deliveries there). Edge flips reset the quiescence counter — a run
+      cannot "converge" mid-rewiring — but are {e not} churn events: they
+      appear in no burst accounting, and a round whose fleet moved
+      without flipping an edge can still close out convergence. Then
+      [churn] events are applied to the (possibly rebased) dynamic
       topology ([Crash]/[Sleep] silence a node, [Join] revives it with a
       fresh [P.init] against the base graph, [Wake] revives it with its
       retained state, link events retopologize; [Corrupt] rewrites the

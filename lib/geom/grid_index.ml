@@ -1,7 +1,14 @@
 (* Uniform-cell spatial hash over a bounding box. Cell side >= query radius,
    so a radius query inspects at most the 3x3 block of cells around the
    target — O(1) expected per query under uniform deployments, giving O(n)
-   unit-disk graph construction. *)
+   unit-disk graph construction.
+
+   The index additionally tracks each point's current cell so a point set
+   under continuous motion can be maintained in place: [move] re-buckets
+   exactly one point (O(bucket length)), and a point whose move stays inside
+   its cell costs a comparison and nothing else. The [points] array is
+   adopted, not copied — callers that mutate positions must call [move]
+   afterwards so bucket membership and positions never diverge. *)
 
 type t = {
   box : Bbox.t;
@@ -10,6 +17,7 @@ type t = {
   rows : int;
   cells : int list array; (* point indices per cell, most recent first *)
   points : Vec2.t array;
+  cell_of_point : int array; (* flat cell index each point is bucketed in *)
 }
 
 let cell_of t (p : Vec2.t) =
@@ -18,20 +26,48 @@ let cell_of t (p : Vec2.t) =
   let cy = clamp (int_of_float ((p.y -. t.box.min_y) /. t.cell)) 0 (t.rows - 1) in
   (cx, cy)
 
+let flat_cell t p =
+  let cx, cy = cell_of t p in
+  (cy * t.cols) + cx
+
 let build ~box ~cell points =
   if cell <= 0.0 then invalid_arg "Grid_index.build: cell must be positive";
   let cols = max 1 (int_of_float (ceil (Bbox.width box /. cell))) in
   let rows = max 1 (int_of_float (ceil (Bbox.height box /. cell))) in
-  let t = { box; cell; cols; rows; cells = Array.make (cols * rows) []; points } in
+  let t =
+    {
+      box;
+      cell;
+      cols;
+      rows;
+      cells = Array.make (cols * rows) [];
+      points;
+      cell_of_point = Array.make (Array.length points) 0;
+    }
+  in
   Array.iteri
     (fun i p ->
-      let cx, cy = cell_of t p in
-      let k = (cy * cols) + cx in
-      t.cells.(k) <- i :: t.cells.(k))
+      let k = flat_cell t p in
+      t.cells.(k) <- i :: t.cells.(k);
+      t.cell_of_point.(i) <- k)
     points;
   t
 
 let size t = Array.length t.points
+
+let remove_from_bucket t k i =
+  t.cells.(k) <- List.filter (fun j -> j <> i) t.cells.(k)
+
+let move t i =
+  if i < 0 || i >= Array.length t.points then
+    invalid_arg "Grid_index.move: point out of range";
+  let k = flat_cell t t.points.(i) in
+  let old = t.cell_of_point.(i) in
+  if k <> old then begin
+    remove_from_bucket t old i;
+    t.cells.(k) <- i :: t.cells.(k);
+    t.cell_of_point.(i) <- k
+  end
 
 let iter_within t center radius f =
   if radius < 0.0 then invalid_arg "Grid_index.iter_within: negative radius";

@@ -61,6 +61,8 @@ let size t = Array.length t.nodes
 
 let positions t = Array.map (fun st -> st.pos) t.nodes
 
+let iter_positions t f = Array.iteri (fun i st -> f i st.pos) t.nodes
+
 let position t i = t.nodes.(i).pos
 
 let model t = t.model
@@ -138,3 +140,35 @@ let step t dt =
           step_waypoint t.box ~speed_min:wp_speed_min ~speed_max:wp_speed_max
             ~pause st dt)
         t.nodes
+
+(* Identical stepping (same nodes, same order, same draws as [step]) plus
+   change detection: the per-round hot path wants exactly the nodes whose
+   position changed — paused waypoint nodes and zero-speed walkers cost
+   one pointer comparison and no callback. *)
+let step_moved t dt f =
+  if dt < 0.0 then invalid_arg "Fleet.step_moved: negative time step";
+  let moved = ref 0 in
+  let report i st before =
+    if not (Ss_geom.Vec2.equal st.pos before) then begin
+      incr moved;
+      f i st.pos
+    end
+  in
+  (match t.model with
+  | Model.Static -> ()
+  | Model.Random_walk params ->
+      Array.iteri
+        (fun i st ->
+          let before = st.pos in
+          step_walk t.box params st dt;
+          report i st before)
+        t.nodes
+  | Model.Random_waypoint { Model.wp_speed_min; wp_speed_max; pause } ->
+      Array.iteri
+        (fun i st ->
+          let before = st.pos in
+          step_waypoint t.box ~speed_min:wp_speed_min ~speed_max:wp_speed_max
+            ~pause st dt;
+          report i st before)
+        t.nodes);
+  !moved

@@ -17,7 +17,12 @@ val create :
 val size : t -> int
 
 val positions : t -> Ss_geom.Vec2.t array
-(** Snapshot of current positions (fresh array). *)
+(** Snapshot of current positions (fresh array per call — allocation-free
+    readers should use {!iter_positions}). *)
+
+val iter_positions : t -> (int -> Ss_geom.Vec2.t -> unit) -> unit
+(** [iter_positions t f] applies [f i pos_i] for every node in index
+    order without allocating a snapshot array. *)
 
 val position : t -> int -> Ss_geom.Vec2.t
 
@@ -26,3 +31,14 @@ val model : t -> Model.t
 val step : t -> float -> unit
 (** Advance every node by [dt] seconds. Random-walk nodes reflect off the
     area boundary; waypoint nodes pause at targets. *)
+
+val step_moved : t -> float -> (int -> Ss_geom.Vec2.t -> unit) -> int
+(** Like {!step}, drawing the identical randomness (a fleet stepped with
+    [step_moved] stays bit-identical to one stepped with [step]), but
+    additionally calls the callback with each node whose position
+    actually changed — in index order, with the new position — and
+    returns how many did. Nodes that stood still this step (paused
+    waypoint nodes, zero-speed walkers, [Static] fleets) trigger no
+    callback: feed the callback straight into
+    {!Ss_topology.Motion.move} and the incremental maintainer only sees
+    the moving fringe. *)

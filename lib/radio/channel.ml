@@ -116,6 +116,10 @@ let deterministic = function
   | Perfect -> true
   | Bernoulli _ | Jammed _ | Slotted _ | Asymmetric _ | Bursty _ -> false
 
+let position_dependent = function
+  | Jammed _ -> true
+  | Perfect | Bernoulli _ | Slotted _ | Asymmetric _ | Bursty _ -> false
+
 (* Key lanes. Per-edge decisions live under (key, src, dst); per-node slot
    draws under (key, node). The two never coexist within one channel kind,
    but distinct lane tags keep them disjoint anyway. The asymmetric and

@@ -92,6 +92,15 @@ val deterministic : t -> bool
     skip per-edge delivery-diff checks on channels that cannot change a
     node's inputs between rounds. *)
 
+val position_dependent : t -> bool
+(** True when a plan's answers read node positions ([jammed] — the only
+    model where geometry, not just identity, decides delivery). Under
+    continuous motion the sparse executor must treat a moved node as
+    disturbed on such channels even when no edge flipped: its deliveries
+    can change with no structural signal. Position-independent models
+    need no such marking — their plans are pure in (key, round, src,
+    dst). *)
+
 val round_plan :
   t ->
   key:Ss_prng.Rng.key ->

@@ -8,7 +8,7 @@
 type status = Alive | Crashed | Asleep
 
 type t = {
-  base : Graph.t;
+  mutable base : Graph.t; (* replaced by [rebase] as motion rewires links *)
   status : status array;
   down : (int * int, unit) Hashtbl.t; (* keyed (p, q) with p < q *)
   mutable cache : Graph.t; (* last materialized snapshot *)
@@ -121,6 +121,26 @@ let compare_links (p1, q1) (p2, q2) =
 
 let down_list t =
   List.sort compare_links (Hashtbl.fold (fun e () acc -> e :: acc) t.down [])
+
+let rebase t ~base ~added ~removed =
+  if Graph.node_count base <> node_count t then
+    invalid_arg "Dynamic.rebase: node count mismatch";
+  t.base <- base;
+  (* A down-mark on a link that left the base graph is dropped: if motion
+     later brings the pair back in range, the fresh link starts up. Only
+     the diff endpoints' rows can differ between the old and new base, so
+     dirtying exactly those keeps the cached snapshot patchable. *)
+  List.iter
+    (fun (p, q) ->
+      Hashtbl.remove t.down (norm p q);
+      mark_row t p;
+      mark_row t q)
+    removed;
+  List.iter
+    (fun (p, q) ->
+      mark_row t p;
+      mark_row t q)
+    added
 
 let pristine t =
   Hashtbl.length t.down = 0 && Array.for_all (fun s -> s = Alive) t.status

@@ -74,6 +74,18 @@ val is_link_down : t -> int -> int -> bool
 val down_list : t -> (int * int) list
 (** Downed links, each once with [p < q], sorted. *)
 
+val rebase :
+  t -> base:Graph.t -> added:(int * int) list -> removed:(int * int) list -> unit
+(** Swap the base graph for a new one over the same node universe —
+    continuous motion rewiring the potential links mid-run. [added] and
+    [removed] must be exactly the edge diff between the old and new base
+    (e.g. a {!Motion.flush} result); only the endpoints of those edges
+    are re-patched in the next {!snapshot}, so the cost of a rebase is
+    the diff, not the graph. Down-marks on removed links are dropped — a
+    link that leaves radio range and later returns starts in the up
+    state. Node statuses are untouched. Raises [Invalid_argument] if the
+    node counts differ. *)
+
 val pristine : t -> bool
 (** True when every node is alive and every link is up — the snapshot is
     the base graph itself. *)

@@ -1,0 +1,61 @@
+(** Incremental unit-disk graph maintenance under continuous motion.
+
+    Owns a live position buffer and keeps the unit-disk graph over it
+    current as nodes move: the caller reports moved nodes with {!move},
+    then {!flush} re-buckets and re-queries exactly those nodes and
+    returns the edge diff. Correctness hinges on a unit-disk fact: an
+    edge can change status only when at least one endpoint moved, so
+    recomputing the moved rows against everyone's current position and
+    patching the affected partner rows reproduces a full
+    {!Graph.unit_disk} rebuild bit-for-bit (adjacency rows included —
+    proven by the differential battery in [test/suite_motion.ml]).
+    Unchanged rows are physically shared with the previous snapshot, so
+    per-round cost scales with the moving fringe, not the fleet. *)
+
+type t
+
+type diff = {
+  added : (int * int) list;  (** new edges, [p < q], sorted *)
+  removed : (int * int) list;  (** dropped edges, [p < q], sorted *)
+  moved : int list;  (** nodes whose position changed, sorted *)
+}
+
+val empty_diff : diff
+
+val create : ?box:Ss_geom.Bbox.t -> radius:float -> Ss_geom.Vec2.t array -> t
+(** Start maintaining the unit-disk graph with transmission range
+    [radius] over a private copy of [positions]. [box] (default the unit
+    square) sizes the spatial index; it is grown to enclose the starting
+    points, and later moves outside it are clamped to border cells by the
+    index (correct, slightly slower). The initial {!graph} equals
+    [Graph.unit_disk ~radius positions]. Raises [Invalid_argument] on a
+    negative radius. *)
+
+val size : t -> int
+val radius : t -> float
+
+val graph : t -> Graph.t
+(** The current snapshot. Adjacency is immutable, but the positions
+    array is the maintainer's live buffer, shared by all snapshots: a
+    snapshot held across later moves sees current positions with
+    historical adjacency. Read positions only within the round that
+    produced the snapshot; copy them out to keep history. *)
+
+val positions : t -> Ss_geom.Vec2.t array
+(** The live buffer itself — do not mutate; use {!move}. *)
+
+val position : t -> int -> Ss_geom.Vec2.t
+
+val move : t -> int -> Ss_geom.Vec2.t -> unit
+(** Set node [i]'s position and mark it for the next {!flush}. A move to
+    the identical position is a no-op. Raises [Invalid_argument] on an
+    out-of-range node. *)
+
+val flush : t -> diff
+(** Re-query every node moved since the last flush, update the graph and
+    return the canonical diff: applying [added]/[removed] to the
+    previous snapshot yields the new one. When no edge flipped, the
+    previous graph object is returned unchanged by {!graph} (physical
+    equality), but [moved] still lists the repositioned nodes. *)
+
+val pp : t Fmt.t

@@ -141,6 +141,246 @@ let test_model_validation () =
     (Invalid_argument "Mobility.random_waypoint: negative pause") (fun () ->
       ignore (Model.random_waypoint ~pause:(-1.0) ~speed_min:0.0 ~speed_max:1.0 ()))
 
+(* ------------------------------------------------- statistical pins -- *)
+(* Fixed-seed distributional checks on trajectories observed purely from
+   the outside (positions over time): the thresholds are pins with ~2x
+   margin over the measured statistic, not live hypothesis tests — a
+   model regression (wrong leg law, biased speeds, broken pause) moves
+   the statistics by far more than the margin. *)
+
+let ks_statistic sorted cdf =
+  let n = float_of_int (Array.length sorted) in
+  let d = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let f = cdf x in
+      d :=
+        Float.max !d
+          (Float.max
+             (Float.abs (f -. (float_of_int i /. n)))
+             (Float.abs ((float_of_int (i + 1) /. n) -. f))))
+    sorted;
+  !d
+
+(* Observe each walker at a fixed sampling period; within a leg the
+   per-sample displacement is constant (speed * dt), so legs appear as
+   plateaus of the observed speed and the single blended sample at each
+   boundary separates them. A plateau of k samples estimates a leg of
+   (k + 1) * dt (the two half-shared boundary samples add ~dt). The
+   enormous box keeps reflections out of the sampled window. *)
+let observed_walk_legs ~nodes ~steps ~dt model =
+  let big = 1000.0 in
+  let box =
+    Bbox.make ~min_x:(-.big) ~min_y:(-.big) ~max_x:big ~max_y:big
+  in
+  let rng = Rng.create ~seed:120 in
+  let start = Array.init nodes (fun _ -> Vec2.v 0.0 0.0) in
+  let fleet = Fleet.create rng ~model ~box start in
+  let speeds = Array.make_matrix nodes steps 0.0 in
+  let prev = ref (Fleet.positions fleet) in
+  for t = 0 to steps - 1 do
+    Fleet.step fleet dt;
+    let cur = Fleet.positions fleet in
+    for i = 0 to nodes - 1 do
+      speeds.(i).(t) <- Vec2.dist cur.(i) !prev.(i) /. dt
+    done;
+    prev := cur
+  done;
+  let legs = ref [] in
+  for i = 0 to nodes - 1 do
+    let s = speeds.(i) in
+    let j = ref 0 in
+    while !j < steps do
+      let k = ref !j in
+      while !k + 1 < steps && Float.abs (s.(!k + 1) -. s.(!j)) < 1e-9 do
+        incr k
+      done;
+      (* Plateaus of one sample are blended boundary steps; the final
+         plateau is truncated by the horizon. Both are dropped. *)
+      if !k > !j && !k + 1 < steps then
+        legs := (float_of_int (!k - !j + 2) *. dt, s.(!j)) :: !legs;
+      j := !k + 1
+    done
+  done;
+  !legs
+
+let walk_pin_model =
+  (* A wide speed range makes consecutive legs almost surely
+     distinguishable by their observed speed. *)
+  Model.random_walk ~mean_leg_duration:8.0 ~speed_min:0.02 ~speed_max:1.0 ()
+
+let test_walk_leg_durations_exponential () =
+  let legs = observed_walk_legs ~nodes:8 ~steps:20_000 ~dt:0.1 walk_pin_model in
+  let durations = Array.of_list (List.map fst legs) in
+  Array.sort Float.compare durations;
+  let n = Array.length durations in
+  Alcotest.(check bool) "enough legs observed" true (n > 1000);
+  let mean = Array.fold_left ( +. ) 0.0 durations /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.2f within 10%% of 8.0" mean)
+    true
+    (Float.abs (mean -. 8.0) < 0.8);
+  let d = ks_statistic durations (fun x -> 1.0 -. exp (-.x /. 8.0)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "KS vs Exp(8.0) = %.4f below pin" d)
+    true (d < 0.05)
+
+let test_walk_speeds_uniform () =
+  let legs = observed_walk_legs ~nodes:8 ~steps:20_000 ~dt:0.1 walk_pin_model in
+  let lo = 0.02 and hi = 1.0 in
+  let bins = 8 in
+  let counts = Array.make bins 0 in
+  let n = ref 0 in
+  List.iter
+    (fun (_, v) ->
+      Alcotest.(check bool) "speed within range" true
+        (v >= lo -. 1e-9 && v <= hi +. 1e-9);
+      let b =
+        min (bins - 1)
+          (int_of_float (float_of_int bins *. (v -. lo) /. (hi -. lo)))
+      in
+      counts.(b) <- counts.(b) + 1;
+      incr n)
+    legs;
+  (* One speed sample per observed leg: longer legs are not
+     over-represented, so the draw law itself is what gets binned. *)
+  let expected = float_of_int !n /. float_of_int bins in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0.0 counts
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "chi-square %.2f below pin (7 df)" chi2)
+    true (chi2 < 20.0)
+
+let test_waypoint_pause_honored () =
+  (* Fixed travel speed, fixed pause: every mid-trajectory stationary
+     stretch must last the configured pause within sampling resolution.
+     (Back-to-back pauses can merge when a fresh target lands within one
+     step of the current position — longer stretches are legal, shorter
+     ones never are.) *)
+  let pause = 3.0 and dt = 0.1 in
+  let model = Model.random_waypoint ~pause ~speed_min:0.3 ~speed_max:0.3 () in
+  let rng = Rng.create ~seed:121 in
+  let nodes = 5 and steps = 4_000 in
+  let fleet = Fleet.create rng ~model ~box (start_positions nodes) in
+  let runs = ref [] in
+  let still = Array.make nodes 0 in
+  let prev = ref (Fleet.positions fleet) in
+  for _ = 1 to steps do
+    Fleet.step fleet dt;
+    let cur = Fleet.positions fleet in
+    for i = 0 to nodes - 1 do
+      if Vec2.dist cur.(i) !prev.(i) < 1e-15 then still.(i) <- still.(i) + 1
+      else begin
+        if still.(i) > 0 then runs := (float_of_int still.(i) *. dt) :: !runs;
+        still.(i) <- 0
+      end
+    done;
+    prev := cur
+  done;
+  let n = List.length !runs in
+  Alcotest.(check bool) "enough pauses observed" true (n > 100);
+  List.iter
+    (fun len ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pause %.2fs not cut short" len)
+        true
+        (len >= pause -. (2.0 *. dt)))
+    !runs;
+  let near = List.filter (fun l -> Float.abs (l -. pause) <= 2.0 *. dt) !runs in
+  Alcotest.(check bool) "pauses cluster at the configured length" true
+    (float_of_int (List.length near) >= 0.9 *. float_of_int n)
+
+let test_reflection_contains_fast_walkers () =
+  (* Speeds far above the box size force many reflections per step; the
+     billiard fold must still keep every node inside. *)
+  let rng = Rng.create ~seed:122 in
+  let model = Model.random_walk ~speed_min:0.5 ~speed_max:2.0 () in
+  let fleet = Fleet.create rng ~model ~box (start_positions 20) in
+  for _ = 1 to 100 do
+    Fleet.step fleet 1.0;
+    Array.iter
+      (fun p -> Alcotest.(check bool) "inside box" true (Bbox.contains box p))
+      (Fleet.positions fleet)
+  done
+
+(* --------------------------------------------- step_moved / allocation *)
+
+let test_step_moved_matches_step () =
+  List.iter
+    (fun (name, model) ->
+      let make () =
+        Fleet.create (Rng.create ~seed:123) ~model ~box (start_positions 40)
+      in
+      let a = make () and b = make () in
+      for _ = 1 to 50 do
+        Fleet.step a 0.7;
+        let changed = ref [] in
+        let count =
+          Fleet.step_moved b 0.7 (fun i p -> changed := (i, p) :: !changed)
+        in
+        for i = 0 to 39 do
+          Alcotest.(check bool)
+            (name ^ ": same trajectory")
+            true
+            (Vec2.equal (Fleet.position a i) (Fleet.position b i))
+        done;
+        Alcotest.(check int)
+          (name ^ ": moved count = callbacks")
+          count
+          (List.length !changed);
+        List.iter
+          (fun (i, p) ->
+            Alcotest.(check bool)
+              (name ^ ": callback carries the new position")
+              true
+              (Vec2.equal p (Fleet.position b i)))
+          !changed
+      done)
+    [
+      ("static", Model.static);
+      ("walk", Model.pedestrian);
+      ( "waypoint",
+        Model.random_waypoint ~pause:1.0 ~speed_min:0.0 ~speed_max:0.05 () );
+    ]
+
+let test_static_step_moved_reports_nothing () =
+  let rng = Rng.create ~seed:124 in
+  let fleet = Fleet.create rng ~model:Model.static ~box (start_positions 10) in
+  let count = Fleet.step_moved fleet 100.0 (fun _ _ -> Alcotest.fail "moved") in
+  Alcotest.(check int) "static fleet reports no movers" 0 count
+
+let test_iter_positions_allocation_free () =
+  let rng = Rng.create ~seed:125 in
+  let fleet =
+    Fleet.create rng ~model:Model.pedestrian ~box (start_positions 1000)
+  in
+  let count = ref 0 in
+  let visit _ _ = incr count in
+  Fleet.iter_positions fleet visit;
+  let before = Gc.minor_words () in
+  Fleet.iter_positions fleet visit;
+  let after = Gc.minor_words () in
+  Alcotest.(check bool)
+    (Printf.sprintf "iter_positions allocated %.0f minor words"
+       (after -. before))
+    true
+    (after -. before < 256.0);
+  (* The snapshot API, by contrast, pays a fresh array per call — the
+     contrast is the point of the pin. (A 1000-slot array goes straight
+     to the major heap, so count total allocated bytes, not minor
+     words.) *)
+  let before = Gc.allocated_bytes () in
+  ignore (Sys.opaque_identity (Fleet.positions fleet));
+  let after = Gc.allocated_bytes () in
+  Alcotest.(check bool) "positions allocates a snapshot" true
+    (after -. before > 7000.0);
+  Alcotest.(check int) "every node visited twice" 2000 !count
+
 let test_negative_step_rejected () =
   let rng = Rng.create ~seed:109 in
   let fleet = Fleet.create rng ~model:Model.static ~box (start_positions 3) in
@@ -166,4 +406,17 @@ let suite =
     Alcotest.test_case "paper speed regimes" `Quick test_paper_regimes;
     Alcotest.test_case "model validation" `Quick test_model_validation;
     Alcotest.test_case "negative step rejected" `Quick test_negative_step_rejected;
+    Alcotest.test_case "walk leg durations are exponential" `Slow
+      test_walk_leg_durations_exponential;
+    Alcotest.test_case "walk speeds are uniform" `Slow test_walk_speeds_uniform;
+    Alcotest.test_case "waypoint pause is honored" `Quick
+      test_waypoint_pause_honored;
+    Alcotest.test_case "reflection contains fast walkers" `Quick
+      test_reflection_contains_fast_walkers;
+    Alcotest.test_case "step_moved matches step" `Quick
+      test_step_moved_matches_step;
+    Alcotest.test_case "static step_moved reports nothing" `Quick
+      test_static_step_moved_reports_nothing;
+    Alcotest.test_case "iter_positions is allocation-free" `Quick
+      test_iter_positions_allocation_free;
   ]

@@ -18,6 +18,7 @@ let () =
       ("monitor", Suite_monitor.suite);
       ("churn", Suite_churn.suite);
       ("mobility", Suite_mobility.suite);
+      ("motion", Suite_motion.suite);
       ("distributed", Suite_distributed.suite);
       ("energy", Suite_energy.suite);
       ("hierarchy", Suite_hierarchy.suite);
