@@ -316,6 +316,33 @@ let motion_cmd =
       $ motion_intensity_arg $ rounds_arg $ dt_arg $ tau_arg $ churn_flag_arg
       $ csv_arg)
 
+let flat_cmd =
+  let doc =
+    "Extension: the flat-memory executor at scale — unit-disk deployments \
+     at constant expected degree run through the struct-of-arrays round \
+     loop under a crash/rejoin burst schedule; at small sizes the typed \
+     sparse executor cross-checks every observable. Exits non-zero on \
+     divergence."
+  in
+  let smoke_arg =
+    let doc = "Small sizes only (all cross-checked); for CI." in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let run seed smoke csv =
+    let sizes, check_upto =
+      if smoke then ([ 500; 1_000; 2_000 ], 2_000)
+      else (E.Exp_flat.default_sizes, 3_000)
+    in
+    let rows = E.Exp_flat.run ~seed ~sizes ~check_upto () in
+    output ~csv (E.Exp_flat.to_table rows);
+    if not (E.Exp_flat.verified rows) then begin
+      Fmt.epr "ERROR: flat executor diverged from the sparse reference@.";
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "flat" ~doc)
+    Term.(const run $ seed_arg $ smoke_arg $ csv_arg)
+
 let campaign_cmd =
   let doc =
     "Robustness: adversarial fault-campaign sweep over (corruption fraction \
@@ -494,7 +521,7 @@ let main_cmd =
       table1_cmd; table2_cmd; table3_cmd; table4_cmd; table5_cmd;
       figures_cmd; mobility_cmd; selfstab_cmd; compare_cmd; energy_cmd;
       hierarchy_cmd; bounds_cmd; links_cmd; churn_cmd; motion_cmd;
-      campaign_cmd; adversary_cmd; all_cmd;
+      flat_cmd; campaign_cmd; adversary_cmd; all_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

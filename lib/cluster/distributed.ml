@@ -327,6 +327,862 @@ struct
     && a.density = b.density
     && a.parent = b.parent
     && a.head = b.head
+
+  (* ------------------------------------------------------- flat plane *)
+
+  (* Struct-of-arrays mirror of [state] for the Ss_engine.Flat executor.
+     Per-node strided int layouts:
+
+       cache.(p)   entries ascending by neighbor index, variable stride:
+                   [q; heard; gid; dag; dens_links; dens_nodes; head;
+                    nlen; nbr_0 .. nbr_{nlen-1}]
+       far.(p)     entries ascending, stride 6:
+                   [q; heard; dens_links; dens_nodes; eff; is_head]
+       em_nbrs.(p) emitted relay summaries ascending, stride 5:
+                   [s_node; dens_links; dens_nodes; eff; is_head]
+       em          emitted frame scalars, stride 6 per node:
+                   [gid; dag; dens_links; dens_nodes; head; len] — one
+                   interleaved plane so a gathering neighbor touches one
+                   cache line, not six; len -1 = poisoned
+
+     Option encodings: density None -> (-1, 0) (real densities have
+     links >= 0 by Density.make); parent/head None -> -1 (real values are
+     node indices or corrupt draws, always >= 0). Both are injective over
+     every reachable and every [corrupt]-produced state, so integer
+     equality on the planes coincides with structural equality on the
+     typed fields — which is what makes [step]'s change report and
+     [refresh_emit]'s frame comparison exact mirrors of [equal_state] and
+     the sparse executor's message compare. *)
+  module Flat = struct
+    type buffers = {
+      n : int;
+      clock : int array;
+      gamma : int array;
+      gid : int array;
+      dag : int array;
+      dens_l : int array; (* -1 = None *)
+      dens_n : int array;
+      parent : int array; (* -1 = None *)
+      head : int array; (* -1 = None *)
+      cache : int array array;
+      cache_used : int array; (* ints used in cache.(p) *)
+      cache_cnt : int array; (* entries in cache.(p) *)
+      far : int array array;
+      far_len : int array; (* entries in far.(p) *)
+      em : int array; (* interleaved frame scalars, stride 6 *)
+      em_nbrs : int array array;
+      mutable now : int; (* executor round counter, see [tick] *)
+      em_ver : int array; (* round of last emission change, per node *)
+      synced : int array;
+          (* fast-path stamp: round as of which every cache entry equals
+             its emitter's current emission and every far entry comes
+             from the same senders' current summaries; -1 = unsyncable
+             (some entry was carried over, or the planes were packed) *)
+      minh : int array; (* min heard stamp across cache+far; max_int = none *)
+      calm : Bytes.t;
+          (* '\001' iff the node's last step changed no state and drew no
+             randomness: a repeat step on unchanged inputs is then a
+             provable no-op beyond the heard restamps *)
+      quiet_emit : Bytes.t;
+          (* '\001' iff the last step proved the emission unchanged;
+             consumed by [refresh_emit] to skip the rebuild+compare *)
+    }
+
+    type scratch = {
+      mutable cbuf : int array; (* next cache image *)
+      mutable ckeys : int array; (* its entry keys, ascending *)
+      mutable fa : int array; (* far-merge ping-pong *)
+      mutable fb : int array;
+      mutable ebuf : int array; (* next emission image *)
+      mutable excl : bool array; (* N1 name exclusion, gamma-sized *)
+      mutable free_names : int array;
+    }
+
+    let alloc graph =
+      let n = Graph.node_count graph in
+      let ia () = Array.make n 0 in
+      let aa () = Array.make n [||] in
+      {
+        n;
+        clock = ia ();
+        gamma = ia ();
+        gid = ia ();
+        dag = ia ();
+        dens_l = Array.make n (-1);
+        dens_n = ia ();
+        parent = Array.make n (-1);
+        head = Array.make n (-1);
+        cache = aa ();
+        cache_used = ia ();
+        cache_cnt = ia ();
+        far = aa ();
+        far_len = ia ();
+        em = Array.init (6 * n) (fun i -> if i mod 6 = 5 then -1 else 0);
+        em_nbrs = aa ();
+        now = 0;
+        em_ver = ia ();
+        synced = Array.make n (-1);
+        minh = Array.make n max_int;
+        calm = Bytes.make n '\000';
+        quiet_emit = Bytes.make n '\000';
+      }
+
+    let tick b = b.now <- b.now + 1
+
+    let scratch _b =
+      {
+        cbuf = Array.make 64 0;
+        ckeys = Array.make 16 0;
+        fa = Array.make 96 0;
+        fb = Array.make 96 0;
+        ebuf = Array.make 80 0;
+        excl = Array.make 16 false;
+        free_names = Array.make 16 0;
+      }
+
+    let grow a needed =
+      if Array.length a >= needed then a
+      else Array.make (max needed ((2 * Array.length a) + 8)) 0
+
+
+    let init_all b rng graph =
+      if b.n <> Graph.node_count graph then
+        invalid_arg "Distributed.Flat.init_all: node count mismatch";
+      (* Deployment-wide constants once, instead of per node — the O(n^2)
+         hazard of calling the typed init n times. Draw-identical to it:
+         one Rng.int per node, ascending. *)
+      let gamma = Gamma.size algo.Config.gamma graph in
+      (match params.ids with
+      | Some ids when Array.length ids <> b.n ->
+          invalid_arg "Distributed: ids length mismatch"
+      | Some _ | None -> ());
+      b.now <- 0;
+      for p = 0 to b.n - 1 do
+        b.clock.(p) <- 0;
+        b.gamma.(p) <- gamma;
+        b.gid.(p) <- (match params.ids with None -> p | Some ids -> ids.(p));
+        b.dag.(p) <- Rng.int rng gamma;
+        b.dens_l.(p) <- -1;
+        b.dens_n.(p) <- 0;
+        b.parent.(p) <- -1;
+        b.head.(p) <- -1;
+        b.cache_used.(p) <- 0;
+        b.cache_cnt.(p) <- 0;
+        b.far_len.(p) <- 0;
+        b.em.((6 * p) + 5) <- -1;
+        b.em_ver.(p) <- 0;
+        b.synced.(p) <- -1;
+        b.minh.(p) <- max_int;
+        Bytes.unsafe_set b.calm p '\000';
+        Bytes.unsafe_set b.quiet_emit p '\000'
+      done
+
+    let put_density c i = function
+      | None ->
+          c.(i) <- -1;
+          c.(i + 1) <- 0
+      | Some d ->
+          c.(i) <- Density.links d;
+          c.(i + 1) <- Density.nodes d
+
+    let density_of l n = if l < 0 then None else Some (Density.make ~links:l ~nodes:n)
+
+    let pack b p (st : state) =
+      b.clock.(p) <- st.clock;
+      b.gamma.(p) <- st.gamma;
+      b.gid.(p) <- st.gid;
+      b.dag.(p) <- st.dag;
+      (match st.density with
+      | None ->
+          b.dens_l.(p) <- -1;
+          b.dens_n.(p) <- 0
+      | Some d ->
+          b.dens_l.(p) <- Density.links d;
+          b.dens_n.(p) <- Density.nodes d);
+      b.parent.(p) <- (match st.parent with None -> -1 | Some v -> v);
+      b.head.(p) <- (match st.head with None -> -1 | Some v -> v);
+      let used =
+        List.fold_left
+          (fun acc (_, e) -> acc + 8 + Array.length e.e_nbrs)
+          0 st.cache
+      in
+      b.cache.(p) <- grow b.cache.(p) used;
+      let c = b.cache.(p) in
+      let pos = ref 0 and cnt = ref 0 in
+      List.iter
+        (fun (q, e) ->
+          let u = !pos in
+          c.(u) <- q;
+          c.(u + 1) <- e.e_heard;
+          c.(u + 2) <- e.e_gid;
+          c.(u + 3) <- e.e_dag;
+          put_density c (u + 4) e.e_density;
+          c.(u + 6) <- (match e.e_head with None -> -1 | Some v -> v);
+          let nlen = Array.length e.e_nbrs in
+          c.(u + 7) <- nlen;
+          Array.blit e.e_nbrs 0 c (u + 8) nlen;
+          pos := u + 8 + nlen;
+          incr cnt)
+        st.cache;
+      b.cache_used.(p) <- !pos;
+      b.cache_cnt.(p) <- !cnt;
+      let flen = List.length st.far in
+      b.far.(p) <- grow b.far.(p) (6 * flen);
+      let f = b.far.(p) in
+      List.iteri
+        (fun i (q, fe) ->
+          let o = 6 * i in
+          f.(o) <- q;
+          f.(o + 1) <- fe.f_heard;
+          put_density f (o + 2) fe.f_density;
+          f.(o + 4) <- fe.f_eff;
+          f.(o + 5) <- (if fe.f_is_head then 1 else 0))
+        st.far;
+      b.far_len.(p) <- flen;
+      b.synced.(p) <- -1;
+      Bytes.unsafe_set b.calm p '\000';
+      Bytes.unsafe_set b.quiet_emit p '\000';
+      let mh = ref max_int in
+      List.iter
+        (fun (_, e) -> if e.e_heard < !mh then mh := e.e_heard)
+        st.cache;
+      List.iter (fun (_, fe) -> if fe.f_heard < !mh then mh := fe.f_heard) st.far;
+      b.minh.(p) <- !mh
+
+    let unpack b p : state =
+      let c = b.cache.(p) in
+      let used = b.cache_used.(p) in
+      let rec cache_from pos =
+        if pos >= used then []
+        else begin
+          let nlen = c.(pos + 7) in
+          let entry =
+            {
+              e_heard = c.(pos + 1);
+              e_gid = c.(pos + 2);
+              e_dag = c.(pos + 3);
+              e_density = density_of c.(pos + 4) c.(pos + 5);
+              e_head = (if c.(pos + 6) < 0 then None else Some c.(pos + 6));
+              e_nbrs = Array.sub c (pos + 8) nlen;
+            }
+          in
+          (c.(pos), entry) :: cache_from (pos + 8 + nlen)
+        end
+      in
+      let f = b.far.(p) in
+      let far =
+        List.init b.far_len.(p) (fun i ->
+            let o = 6 * i in
+            ( f.(o),
+              {
+                f_heard = f.(o + 1);
+                f_density = density_of f.(o + 2) f.(o + 3);
+                f_eff = f.(o + 4);
+                f_is_head = f.(o + 5) <> 0;
+              } ))
+      in
+      {
+        clock = b.clock.(p);
+        gamma = b.gamma.(p);
+        gid = b.gid.(p);
+        dag = b.dag.(p);
+        density = density_of b.dens_l.(p) b.dens_n.(p);
+        parent = (if b.parent.(p) < 0 then None else Some b.parent.(p));
+        head = (if b.head.(p) < 0 then None else Some b.head.(p));
+        cache = cache_from 0;
+        far;
+      }
+
+    let refresh_emit b s p =
+      if Bytes.unsafe_get b.quiet_emit p = '\001' then begin
+        (* The paired calm step just proved the emission unchanged; the
+           flag is one-shot so any other caller rebuilds as usual. *)
+        Bytes.unsafe_set b.quiet_emit p '\000';
+        false
+      end
+      else begin
+      let cnt = b.cache_cnt.(p) in
+      s.ebuf <- grow s.ebuf (5 * cnt);
+      let eb = s.ebuf in
+      let c = b.cache.(p) in
+      let pos = ref 0 in
+      for i = 0 to cnt - 1 do
+        let q = c.(!pos) in
+        let o = 5 * i in
+        eb.(o) <- q;
+        eb.(o + 1) <- c.(!pos + 4);
+        eb.(o + 2) <- c.(!pos + 5);
+        eb.(o + 3) <-
+          (if algo.Config.use_dag_names then c.(!pos + 3) else c.(!pos + 2));
+        eb.(o + 4) <- (if c.(!pos + 6) = q then 1 else 0);
+        pos := !pos + 8 + c.(!pos + 7)
+      done;
+      let e = 6 * p in
+      let changed =
+        b.em.(e + 5) <> cnt
+        || b.em.(e) <> b.gid.(p)
+        || b.em.(e + 1) <> b.dag.(p)
+        || b.em.(e + 2) <> b.dens_l.(p)
+        || b.em.(e + 3) <> b.dens_n.(p)
+        || b.em.(e + 4) <> b.head.(p)
+        ||
+        let en = b.em_nbrs.(p) in
+        let diff = ref false in
+        for i = 0 to (5 * cnt) - 1 do
+          if en.(i) <> eb.(i) then diff := true
+        done;
+        !diff
+      in
+      if changed then begin
+        b.em.(e) <- b.gid.(p);
+        b.em.(e + 1) <- b.dag.(p);
+        b.em.(e + 2) <- b.dens_l.(p);
+        b.em.(e + 3) <- b.dens_n.(p);
+        b.em.(e + 4) <- b.head.(p);
+        let en = grow b.em_nbrs.(p) (5 * cnt) in
+        if en != b.em_nbrs.(p) then b.em_nbrs.(p) <- en;
+        for i = 0 to (5 * cnt) - 1 do
+          en.(i) <- eb.(i)
+        done;
+        b.em.(e + 5) <- cnt;
+        b.em_ver.(p) <- b.now
+      end;
+      changed
+      end
+
+    (* An entry not refreshed at the node's last executed step is aging
+       toward its TTL — [step] maintains the plane-wide minimum heard
+       stamp, so the pending-expiry test is one compare. *)
+    let warm b p = b.minh.(p) < b.clock.(p)
+
+    (* Order.compare over sentinel-encoded keys, on raw ints. *)
+    let cmp_keys tie l1 n1 id1 inc1 l2 n2 id2 inc2 =
+      let an = if n1 = 0 then 0 else l1
+      and ad = if n1 = 0 then 1 else n1
+      and bn = if n2 = 0 then 0 else l2
+      and bd = if n2 = 0 then 1 else n2 in
+      let c = Int.compare (an * bd) (bn * ad) in
+      if c <> 0 then c
+      else
+        match tie with
+        | Order.Id_only -> Int.compare id2 id1
+        | Order.Incumbent_then_id ->
+            if inc1 && not inc2 then 1
+            else if inc2 && not inc1 then -1
+            else Int.compare id2 id1
+
+    let step b s hkey p ~senders ~count =
+      let ttl = params.cache_ttl in
+      let clock' = b.clock.(p) + 1 in
+      let old = b.cache.(p) in
+      let old_used = b.cache_used.(p) in
+      (* --- steady-state fast path: when the senders are exactly the
+         cached entries' keys and no sender's emission changed since both
+         planes were last built all-fresh from these same senders, the
+         merges below would reproduce both planes verbatim with every
+         heard stamp at clock'. Restamp in place, skip the rebuilds. *)
+      let stamp = b.synced.(p) in
+      let fast =
+        stamp >= 0
+        && count = b.cache_cnt.(p)
+        &&
+        let ok = ref true and pos = ref 0 and i = ref 0 in
+        while !ok && !i < count do
+          let q = senders.(!i) in
+          if old.(!pos) <> q || b.em_ver.(q) > stamp then ok := false
+          else begin
+            pos := !pos + 8 + old.(!pos + 7);
+            incr i
+          end
+        done;
+        !ok
+      in
+      if fast && Bytes.unsafe_get b.calm p = '\001' then begin
+        (* --- calm tier: the last step changed no state and drew no
+           randomness, and the inputs are bit-identical again — the
+           name/density/election recomputation below would reproduce
+           every current value and the emission is provably unchanged.
+           Restamp the heard fields and stop; [refresh_emit] consumes
+           the quiet flag to skip its rebuild too. *)
+        let pos = ref 0 in
+        for _ = 1 to count do
+          old.(!pos + 1) <- clock';
+          pos := !pos + 8 + old.(!pos + 7)
+        done;
+        let f = b.far.(p) in
+        for i = 0 to b.far_len.(p) - 1 do
+          f.((6 * i) + 1) <- clock'
+        done;
+        b.minh.(p) <-
+          (if count = 0 && b.far_len.(p) = 0 then max_int else clock');
+        b.synced.(p) <- b.now - 1;
+        b.clock.(p) <- clock';
+        Bytes.unsafe_set b.quiet_emit p '\001';
+        false
+      end
+      else begin
+      let new_used = ref old_used
+      and new_cnt = ref b.cache_cnt.(p)
+      and new_far_cnt = ref b.far_len.(p) in
+      if fast then begin
+        let pos = ref 0 in
+        for _ = 1 to count do
+          old.(!pos + 1) <- clock';
+          pos := !pos + 8 + old.(!pos + 7)
+        done;
+        let f = b.far.(p) in
+        for i = 0 to b.far_len.(p) - 1 do
+          f.((6 * i) + 1) <- clock'
+        done;
+        b.minh.(p) <-
+          (if count = 0 && b.far_len.(p) = 0 then max_int else clock');
+        b.synced.(p) <- b.now - 1
+      end
+      else begin
+        (* --- cache refresh: sorted merge of the surviving old entries
+           and the fresh frames (senders ascending); a fresh frame
+           replaces the old entry for the same neighbor, everything else
+           is TTL-filtered at the new clock — exactly the typed
+           refresh_cache. Scratch is pre-sized from upper bounds once,
+           so the merge loops are plain int stores: no growth checks,
+           no write barriers, no C-call blits. *)
+        let old_cnt = b.cache_cnt.(p) in
+        let ofar = b.far.(p) and ocnt = b.far_len.(p) in
+        let sn_total = ref 0 in
+        for i = 0 to count - 1 do
+          sn_total := !sn_total + b.em.((6 * senders.(i)) + 5)
+        done;
+        let cbuf =
+          let a = grow s.cbuf (old_used + (8 * count) + !sn_total) in
+          if a != s.cbuf then s.cbuf <- a;
+          a
+        in
+        let ckeys =
+          let a = grow s.ckeys (old_cnt + count) in
+          if a != s.ckeys then s.ckeys <- a;
+          a
+        in
+        let fmax = 6 * (ocnt + !sn_total) in
+        let fa0 =
+          let a = grow s.fa fmax in
+          if a != s.fa then s.fa <- a;
+          a
+        in
+        let fb0 =
+          let a = grow s.fb fmax in
+          if a != s.fb then s.fb <- a;
+          a
+        in
+        let minh = ref max_int in
+        let all_fresh = ref true in
+        let used = ref 0 and cnt = ref 0 in
+        let put_old pos =
+          let sz = 8 + old.(pos + 7) in
+          let u = !used in
+          for i = 0 to sz - 1 do
+            cbuf.(u + i) <- old.(pos + i)
+          done;
+          (let h = old.(pos + 1) in
+           if h < !minh then minh := h);
+          ckeys.(!cnt) <- old.(pos);
+          incr cnt;
+          all_fresh := false;
+          used := u + sz
+        in
+        let put_fresh q =
+          let e = 6 * q in
+          let nlen = b.em.(e + 5) in
+          let u = !used in
+          cbuf.(u) <- q;
+          cbuf.(u + 1) <- clock';
+          cbuf.(u + 2) <- b.em.(e);
+          cbuf.(u + 3) <- b.em.(e + 1);
+          cbuf.(u + 4) <- b.em.(e + 2);
+          cbuf.(u + 5) <- b.em.(e + 3);
+          cbuf.(u + 6) <- b.em.(e + 4);
+          cbuf.(u + 7) <- nlen;
+          let en = b.em_nbrs.(q) in
+          for i = 0 to nlen - 1 do
+            cbuf.(u + 8 + i) <- en.(5 * i)
+          done;
+          ckeys.(!cnt) <- q;
+          incr cnt;
+          used := u + 8 + nlen
+        in
+        let opos = ref 0 and si = ref 0 in
+        while !opos < old_used || !si < count do
+          if !si >= count then begin
+            if clock' - old.(!opos + 1) <= ttl then put_old !opos;
+            opos := !opos + 8 + old.(!opos + 7)
+          end
+          else if !opos >= old_used then begin
+            put_fresh senders.(!si);
+            incr si
+          end
+          else begin
+            let oq = old.(!opos) and sq = senders.(!si) in
+            if oq < sq then begin
+              if clock' - old.(!opos + 1) <= ttl then put_old !opos;
+              opos := !opos + 8 + old.(!opos + 7)
+            end
+            else begin
+              put_fresh sq;
+              incr si;
+              if oq = sq then opos := !opos + 8 + old.(!opos + 7)
+            end
+          end
+        done;
+        (* --- far refresh: fresh relayed summaries first (iterative
+           sorted merge across senders ascending, a later sender's claim
+           overwrites an earlier one's, self skipped — the typed fold's
+           assoc_put order), then merged over the TTL-filtered old
+           entries with fresh winning collisions. The ping-pong direction
+           is chosen by parity, so the loop performs no pointer swaps. *)
+        let fcnt = ref 0 and parity = ref false in
+        for i = 0 to count - 1 do
+          let q = senders.(i) in
+          let sn = b.em.((6 * q) + 5) in
+          if sn > 0 then begin
+            let en = b.em_nbrs.(q) in
+            let fa = if !parity then fb0 else fa0 in
+            let fb = if !parity then fa0 else fb0 in
+            let out = ref 0 and ai = ref 0 and bi = ref 0 in
+            let put_summary j =
+              let e = 5 * j and o = 6 * !out in
+              fb.(o) <- en.(e);
+              fb.(o + 1) <- clock';
+              fb.(o + 2) <- en.(e + 1);
+              fb.(o + 3) <- en.(e + 2);
+              fb.(o + 4) <- en.(e + 3);
+              fb.(o + 5) <- en.(e + 4);
+              incr out
+            in
+            let copy_a () =
+              let sa = 6 * !ai and o = 6 * !out in
+              fb.(o) <- fa.(sa);
+              fb.(o + 1) <- fa.(sa + 1);
+              fb.(o + 2) <- fa.(sa + 2);
+              fb.(o + 3) <- fa.(sa + 3);
+              fb.(o + 4) <- fa.(sa + 4);
+              fb.(o + 5) <- fa.(sa + 5);
+              incr ai;
+              incr out
+            in
+            while !ai < !fcnt || !bi < sn do
+              if !bi < sn && en.(5 * !bi) = p then incr bi
+              else if !bi >= sn then copy_a ()
+              else if !ai >= !fcnt then begin
+                put_summary !bi;
+                incr bi
+              end
+              else begin
+                let ak = fa.(6 * !ai) and bk = en.(5 * !bi) in
+                if ak < bk then copy_a ()
+                else begin
+                  put_summary !bi;
+                  incr bi;
+                  if ak = bk then incr ai
+                end
+              end
+            done;
+            parity := not !parity;
+            fcnt := !out
+          end
+        done;
+        let fresh = if !parity then fb0 else fa0 in
+        let fn = !fcnt in
+        let fdst = if !parity then fa0 else fb0 in
+        let fout = ref 0 and oi = ref 0 and fi = ref 0 in
+        let keep_old () =
+          let so = 6 * !oi in
+          let h = ofar.(so + 1) in
+          if clock' - h <= ttl then begin
+            let o = 6 * !fout in
+            fdst.(o) <- ofar.(so);
+            fdst.(o + 1) <- h;
+            fdst.(o + 2) <- ofar.(so + 2);
+            fdst.(o + 3) <- ofar.(so + 3);
+            fdst.(o + 4) <- ofar.(so + 4);
+            fdst.(o + 5) <- ofar.(so + 5);
+            if h < !minh then minh := h;
+            all_fresh := false;
+            incr fout
+          end;
+          incr oi
+        in
+        let take_fresh () =
+          let sf = 6 * !fi and o = 6 * !fout in
+          fdst.(o) <- fresh.(sf);
+          fdst.(o + 1) <- fresh.(sf + 1);
+          fdst.(o + 2) <- fresh.(sf + 2);
+          fdst.(o + 3) <- fresh.(sf + 3);
+          fdst.(o + 4) <- fresh.(sf + 4);
+          fdst.(o + 5) <- fresh.(sf + 5);
+          incr fi;
+          incr fout
+        in
+        while !oi < ocnt || !fi < fn do
+          if !oi >= ocnt then take_fresh ()
+          else if !fi >= fn then keep_old ()
+          else begin
+            let ok = ofar.(6 * !oi) and fk = fresh.(6 * !fi) in
+            if ok < fk then keep_old ()
+            else begin
+              take_fresh ();
+              if ok = fk then incr oi
+            end
+          end
+        done;
+        if (count > 0 || fn > 0) && clock' < !minh then minh := clock';
+        (* commit the new cache and far planes *)
+        let nu = !used and nc = !cnt and nfar = !fout in
+        let cdst =
+          let a = grow b.cache.(p) nu in
+          if a != b.cache.(p) then b.cache.(p) <- a;
+          a
+        in
+        for i = 0 to nu - 1 do
+          cdst.(i) <- cbuf.(i)
+        done;
+        b.cache_used.(p) <- nu;
+        b.cache_cnt.(p) <- nc;
+        let fcom =
+          let a = grow b.far.(p) (6 * nfar) in
+          if a != b.far.(p) then b.far.(p) <- a;
+          a
+        in
+        for i = 0 to (6 * nfar) - 1 do
+          fcom.(i) <- fdst.(i)
+        done;
+        b.far_len.(p) <- nfar;
+        b.minh.(p) <- !minh;
+        b.synced.(p) <- (if !all_fresh then b.now - 1 else -1);
+        new_used := nu;
+        new_cnt := nc;
+        new_far_cnt := nfar
+      end;
+      let new_used = !new_used
+      and new_cnt = !new_cnt
+      and new_far_cnt = !new_far_cnt in
+      (* --- N1 name resolution, draw-for-draw with resolve_dag: exactly
+         one Rng.int when the node loses its name, none otherwise. The
+         typed free list is built descending, so a draw k there selects
+         the (k+1)-th largest free name. *)
+      let gamma = b.gamma.(p) and gid = b.gid.(p) and old_dag = b.dag.(p) in
+      let c = b.cache.(p) in
+      let drew = ref false in
+      let dag' =
+        if not algo.Config.use_dag_names then old_dag
+        else begin
+          let loses = ref false in
+          let pos = ref 0 in
+          while (not !loses) && !pos < new_used do
+            let q = c.(!pos) in
+            if
+              c.(!pos + 3) = old_dag
+              && (gid < c.(!pos + 2) || (gid = c.(!pos + 2) && p < q))
+            then loses := true
+            else pos := !pos + 8 + c.(!pos + 7)
+          done;
+          if not !loses then old_dag
+          else begin
+            if Array.length s.excl < gamma then
+              s.excl <-
+                Array.make (max gamma ((2 * Array.length s.excl) + 8)) false;
+            Array.fill s.excl 0 gamma false;
+            let pos = ref 0 in
+            while !pos < new_used do
+              let d = c.(!pos + 3) in
+              if d >= 0 && d < gamma then s.excl.(d) <- true;
+              pos := !pos + 8 + c.(!pos + 7)
+            done;
+            s.free_names <- grow s.free_names gamma;
+            let nf = ref 0 in
+            for name = 0 to gamma - 1 do
+              if not s.excl.(name) then begin
+                s.free_names.(!nf) <- name;
+                incr nf
+              end
+            done;
+            (* The only draw in a step; derive the node generator here so
+               the overwhelmingly common drawless step allocates none. *)
+            drew := true;
+            let rng = Rng.of_key (Rng.subkey hkey p) in
+            if !nf = 0 then Rng.int rng gamma
+            else s.free_names.(!nf - 1 - Rng.int rng !nf)
+          end
+        end
+      in
+      (* --- density from the new cache (Density.of_local_view on the
+         entry keys, which are already sorted) *)
+      let deg = new_cnt in
+      (* In the fast path the senders array IS the key set (just
+         verified); s.ckeys was not rebuilt. *)
+      let keys = if fast then senders else s.ckeys in
+      let mem_key r =
+        let lo = ref 0 and hi = ref deg and found = ref false in
+        while (not !found) && !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if keys.(mid) = r then found := true
+          else if keys.(mid) < r then lo := mid + 1
+          else hi := mid
+        done;
+        !found
+      in
+      let among = ref 0 in
+      let pos = ref 0 in
+      while !pos < new_used do
+        let q = c.(!pos) in
+        let nlen = c.(!pos + 7) in
+        for i = 0 to nlen - 1 do
+          let r = c.(!pos + 8 + i) in
+          if r > q && mem_key r then incr among
+        done;
+        pos := !pos + 8 + nlen
+      done;
+      let dl' = deg + !among and dn' = deg in
+      (* --- election, mirroring elect over the new planes. parent'/head'
+         start at the old values; every "None" outcome leaves them. *)
+      let old_parent = b.parent.(p) and old_head = b.head.(p) in
+      let tie = algo.Config.tie in
+      let use_dag = algo.Config.use_dag_names in
+      let parent' = ref old_parent and head' = ref old_head in
+      let have_all = ref true in
+      let pos = ref 0 in
+      while !have_all && !pos < new_used do
+        if c.(!pos + 4) < 0 then have_all := false
+        else pos := !pos + 8 + c.(!pos + 7)
+      done;
+      if !have_all then begin
+        if new_cnt = 0 then begin
+          parent' := p;
+          head' := p
+        end
+        else begin
+          let my_eff = if use_dag then dag' else gid in
+          let my_inc = old_head = p in
+          let join off =
+            let h = c.(off + 6) in
+            if h >= 0 then begin
+              parent' := c.(off);
+              head' := h
+            end
+          in
+          (* strongest 1-hop key; ties keep the lowest neighbor *)
+          let best_q = ref (-1) and best_off = ref 0 in
+          let bl = ref 0 and bn = ref 0 and bid = ref 0 and binc = ref false in
+          let pos = ref 0 in
+          while !pos < new_used do
+            let q = c.(!pos) in
+            let el = c.(!pos + 4) and en_ = c.(!pos + 5) in
+            let eid = if use_dag then c.(!pos + 3) else c.(!pos + 2) in
+            let einc = c.(!pos + 6) = q in
+            if
+              !best_q < 0
+              || cmp_keys tie el en_ eid einc !bl !bn !bid !binc > 0
+            then begin
+              best_q := q;
+              best_off := !pos;
+              bl := el;
+              bn := en_;
+              bid := eid;
+              binc := einc
+            end;
+            pos := !pos + 8 + c.(!pos + 7)
+          done;
+          let locally_maximal =
+            cmp_keys tie !bl !bn !bid !binc dl' dn' my_eff my_inc < 0
+          in
+          if not locally_maximal then join !best_off
+          else if not algo.Config.fusion then begin
+            parent' := p;
+            head' := p
+          end
+          else begin
+            (* strongest dominating 2-hop head from the far plane *)
+            let f = b.far.(p) in
+            let dv = ref (-1) in
+            let kl = ref 0 and kn = ref 0 and kid = ref 0 in
+            for i = 0 to new_far_cnt - 1 do
+              let o = 6 * i in
+              if f.(o + 2) >= 0 && f.(o + 5) <> 0 then begin
+                let l = f.(o + 2) and nn = f.(o + 3) and id = f.(o + 4) in
+                if cmp_keys tie dl' dn' my_eff my_inc l nn id true < 0 then
+                  if !dv < 0 || cmp_keys tie l nn id true !kl !kn !kid true > 0
+                  then begin
+                    dv := f.(o);
+                    kl := l;
+                    kn := nn;
+                    kid := id
+                  end
+              end
+            done;
+            if !dv < 0 then begin
+              parent' := p;
+              head' := p
+            end
+            else begin
+              (* best bridge neighbor claiming the dominating head; a
+                 stale far entry with no live bridge holds state *)
+              let v = !dv in
+              let bq = ref (-1) and boff = ref 0 in
+              let l2 = ref 0
+              and n2 = ref 0
+              and id2 = ref 0
+              and inc2 = ref false in
+              let pos = ref 0 in
+              while !pos < new_used do
+                let q = c.(!pos) in
+                let nlen = c.(!pos + 7) in
+                let claims = ref false in
+                for i = 0 to nlen - 1 do
+                  if c.(!pos + 8 + i) = v then claims := true
+                done;
+                if !claims then begin
+                  let el = c.(!pos + 4) and en_ = c.(!pos + 5) in
+                  let eid = if use_dag then c.(!pos + 3) else c.(!pos + 2) in
+                  let einc = c.(!pos + 6) = q in
+                  if
+                    !bq < 0
+                    || cmp_keys tie el en_ eid einc !l2 !n2 !id2 !inc2 > 0
+                  then begin
+                    bq := q;
+                    boff := !pos;
+                    l2 := el;
+                    n2 := en_;
+                    id2 := eid;
+                    inc2 := einc
+                  end
+                end;
+                pos := !pos + 8 + nlen
+              done;
+              if !bq >= 0 then join !boff
+            end
+          end
+        end
+      end;
+      let changed =
+        old_dag <> dag'
+        || b.dens_l.(p) <> dl'
+        || b.dens_n.(p) <> dn'
+        || old_parent <> !parent'
+        || old_head <> !head'
+      in
+      b.clock.(p) <- clock';
+      b.dag.(p) <- dag';
+      b.dens_l.(p) <- dl';
+      b.dens_n.(p) <- dn';
+      b.parent.(p) <- !parent';
+      b.head.(p) <- !head';
+      (* Calm iff this step changed nothing and consumed no randomness:
+         a later step with bit-identical inputs may then skip the whole
+         recomputation above (a re-draw alone would break draw-for-draw
+         parity with the typed executor, hence the [drew] condition). *)
+      Bytes.unsafe_set b.calm p (if changed || !drew then '\000' else '\001');
+      Bytes.unsafe_set b.quiet_emit p '\000';
+      changed
+      end
+  end
 end
 
 (* The engine's sparse-mode warm hook. A cache or far entry not refreshed

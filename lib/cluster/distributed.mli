@@ -70,12 +70,24 @@ type state = {
 module Make (_ : sig
   val params : params
 end) :
-  Ss_engine.Protocol.S with type state = state and type message = message
+  Ss_engine.Protocol.FLAT with type state = state and type message = message
 (** [equal_state] compares only the protocol outputs (name, density, parent,
     head); cache bookkeeping churns every round by design. When measuring
     stabilization, ask the engine for more quiet rounds than the cache TTL:
     relays in flight and pending expiries can leave isolated output-quiet
-    rounds mid-convergence. *)
+    rounds mid-convergence.
+
+    The [Flat] submodule packs the whole deployment into int planes for
+    the {!Ss_engine.Flat} executor: scalars (clock, gamma, gid, dag,
+    density numerator/denominator, parent, head) one array slot per node,
+    the 1-hop cache, 2-hop far cache and emitted frame as per-node
+    strided int arrays grown in place. Options are sentinel-encoded
+    (density [None] as [(-1, 0)], parent/head [None] as [-1]) — injective
+    for every reachable and every {!corrupt}-produced state, so plane
+    equality coincides with structural equality on the typed fields.
+    [Flat.step] is draw-for-draw equivalent to [handle] (it consumes the
+    generator only in the N1 name re-pick, exactly when the typed path
+    does), which [test/suite_flat.ml] enforces differentially. *)
 
 val pending_expiry : state -> bool
 (** The engine's sparse-mode warm hook: true while any cache or far entry

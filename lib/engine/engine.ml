@@ -89,21 +89,22 @@ module Make (P : Protocol.S) = struct
 
   let sparse = Sparse { warm = None }
 
-  let gather_messages deliver graph states p =
-    (* Frames received by node p this step: one per neighbor, each surviving
-       the round's channel plan. *)
+  (* Frames received by node p this step: one per neighbor, each surviving
+     the round's channel plan. [read] supplies the state a neighbor
+     broadcasts from — the pre-round snapshot under the synchronous
+     daemon, the live array otherwise. *)
+  let gather_messages deliver graph read p =
     let acc = ref [] in
     let nbrs = Graph.neighbors graph p in
     for i = Array.length nbrs - 1 downto 0 do
       let q = nbrs.(i) in
-      if deliver ~src:q ~dst:p then
-        acc := (q, P.emit graph q states.(q)) :: !acc
+      if deliver ~src:q ~dst:p then acc := (q, P.emit graph q (read q)) :: !acc
     done;
     !acc
 
   let node_rng hkey p = Rng.of_key (Rng.subkey hkey p)
 
-  let step_round ~rk ~round graph live channel scheduler states =
+  let step_round ~rk ~round ~scratch graph live channel scheduler states =
     let n = Array.length states in
     let changed = ref 0 in
     (* One delivery plan per round: slotted channels memoize their slot
@@ -113,9 +114,9 @@ module Make (P : Protocol.S) = struct
       Channel.round_plan channel ~key:(lane_channel rk) ~round ~graph
     in
     let hkey = lane_handle rk in
-    let update_node snapshot p =
+    let update_node read p =
       if live.(p) then begin
-        let msgs = gather_messages deliver graph snapshot p in
+        let msgs = gather_messages deliver graph read p in
         let next = P.handle (node_rng hkey p) graph p states.(p) msgs in
         if not (P.equal_state next states.(p)) then incr changed;
         states.(p) <- next
@@ -123,18 +124,22 @@ module Make (P : Protocol.S) = struct
     in
     (match scheduler with
     | Scheduler.Synchronous ->
-        (* Everyone broadcasts from the pre-round snapshot. *)
-        let snapshot = Array.copy states in
+        (* Everyone broadcasts from the pre-round snapshot, held in a
+           run-lifetime scratch buffer instead of a per-round copy. *)
+        Array.blit states 0 scratch 0 n;
+        let read q = scratch.(q) in
         for p = 0 to n - 1 do
-          update_node snapshot p
+          update_node read p
         done
     | Scheduler.Sequential ->
+        let read q = states.(q) in
         for p = 0 to n - 1 do
-          update_node states p
+          update_node read p
         done
     | Scheduler.Random_order ->
         let order = Rng.permutation (Rng.of_key (lane_perm rk)) n in
-        Array.iter (fun p -> update_node states p) order);
+        let read q = states.(q) in
+        Array.iter (fun p -> update_node read p) order);
     !changed
 
   (* ------------------------------------------------------- sparse mode *)
@@ -148,6 +153,10 @@ module Make (P : Protocol.S) = struct
     mutable nxt : bool array;
     mutable nxt_list : int list;
     last_msg : P.message array; (* emission of each node's current state *)
+    shadow : P.state array;
+        (* synchronous daemon: pre-round states of the frontier only —
+           non-frontier nodes never mutate during the walk, so saving the
+           touched slots replaces the per-round O(n) snapshot copy *)
     warm : P.state -> bool;
   }
 
@@ -180,6 +189,7 @@ module Make (P : Protocol.S) = struct
       nxt = Array.make n false;
       nxt_list = [];
       last_msg = Array.init n (fun p -> P.emit graph p states.(p));
+      shadow = Array.copy states;
       warm;
     }
 
@@ -253,9 +263,9 @@ module Make (P : Protocol.S) = struct
        not change is output-stable by the protocol contract); a warm state
        (pending time-based behavior, e.g. cache expiry) keeps the node
        stepping until it drains. *)
-    let update_node ~in_round snapshot p =
+    let update_node ~in_round read p =
       if live.(p) then begin
-        let msgs = gather_messages deliver graph snapshot p in
+        let msgs = gather_messages deliver graph read p in
         let next = P.handle (node_rng hkey p) graph p states.(p) msgs in
         if not (P.equal_state next states.(p)) then begin
           incr changed;
@@ -278,22 +288,33 @@ module Make (P : Protocol.S) = struct
     (match scheduler with
     | Scheduler.Synchronous ->
         (* Frontier order is irrelevant: every step reads the pre-round
-           snapshot and its own key lane. *)
+           snapshot and its own key lane. Only frontier nodes mutate
+           during the walk, so saving just their slots into the
+           persistent shadow reproduces the full pre-round snapshot:
+           [read] serves frontier members from the shadow and everyone
+           else (guaranteed untouched this round) from the live array.
+           The frontier cannot grow mid-walk ([in_round:false]), which
+           keeps the membership test stable. *)
         if ctx.cur_list <> [] then begin
-          let snapshot = Array.copy states in
-          List.iter (fun p -> update_node ~in_round:false snapshot p)
-            ctx.cur_list
+          List.iter (fun p -> ctx.shadow.(p) <- states.(p)) ctx.cur_list;
+          let read q = if ctx.cur.(q) then ctx.shadow.(q) else states.(q) in
+          List.iter (fun p -> update_node ~in_round:false read p) ctx.cur_list;
+          (* Re-point the saved slots at the current states so the shadow
+             never retains a dead generation of protocol state. *)
+          List.iter (fun p -> ctx.shadow.(p) <- states.(p)) ctx.cur_list
         end
     | Scheduler.Sequential ->
         (* Scan in daemon order so an emission change reaches the nodes
            behind it in the same round, exactly as in the dense walk. *)
+        let read q = states.(q) in
         for p = 0 to n - 1 do
-          if ctx.cur.(p) then update_node ~in_round:true states p
+          if ctx.cur.(p) then update_node ~in_round:true read p
         done
     | Scheduler.Random_order ->
         let order = Rng.permutation (Rng.of_key (lane_perm rk)) n in
+        let read q = states.(q) in
         Array.iter
-          (fun p -> if ctx.cur.(p) then update_node ~in_round:true states p)
+          (fun p -> if ctx.cur.(p) then update_node ~in_round:true read p)
           order);
     advance_frontier ctx;
     !changed
@@ -338,7 +359,11 @@ module Make (P : Protocol.S) = struct
        of the generator's state at entry — identical for both executors. *)
     let base_key = Rng.key_of rng in
     let states =
-      match states with Some s -> s | None -> init_states rng graph
+      (* The round loop updates states in place; copying the warm-start
+         array keeps the caller's snapshot intact, so one evolved array can
+         seed several runs (e.g. a dense reference and a sparse replay)
+         without the first run silently converging the others' input. *)
+      match states with Some s -> Array.copy s | None -> init_states rng graph
     in
     (* A warm-start array of the wrong length would otherwise surface as an
        out-of-bounds access deep in the round loop (live/frontier arrays
@@ -348,13 +373,22 @@ module Make (P : Protocol.S) = struct
         (Printf.sprintf
            "Engine.run: ~states has %d entries but the graph has %d nodes"
            (Array.length states) (Graph.node_count graph));
-    let dyn = Dynamic.create graph in
+    (* Reuse-mode snapshots are patched in place and only valid within
+       their round — safe for the engine's own consumers, but a [probe]
+       hands the graph to arbitrary instrumentation that may legitimately
+       hold it across rounds, so probed runs keep immutable snapshots. *)
+    let dyn = Dynamic.create ~reuse_snapshots:(Option.is_none probe) graph in
     let ctx =
       match mode with
       | Dense -> None
       | Sparse { warm } ->
           let warm = match warm with Some f -> f | None -> fun _ -> false in
           Some (make_ctx ~warm graph states)
+    in
+    (* Dense synchronous rounds broadcast from a pre-round snapshot; one
+       run-lifetime buffer replaces the former per-round [Array.copy]. *)
+    let scratch =
+      match mode with Dense -> Array.copy states | Sparse _ -> [||]
     in
     (* Keep the run alive through quiescence while a bounded plan still has
        events scheduled, so post-convergence storms always fire. *)
@@ -389,9 +423,7 @@ module Make (P : Protocol.S) = struct
           match hook ~round:!round with
           | None -> ()
           | Some (base', diff) ->
-              moved_links :=
-                List.length diff.Motion.added
-                + List.length diff.Motion.removed;
+              moved_links := diff.Motion.n_added + diff.Motion.n_removed;
               if !moved_links > 0 then
                 Dynamic.rebase dyn ~base:base' ~added:diff.Motion.added
                   ~removed:diff.Motion.removed;
@@ -468,7 +500,9 @@ module Make (P : Protocol.S) = struct
       let rk = Rng.subkey base_key !round in
       let changed =
         match ctx with
-        | None -> step_round ~rk ~round:!round g live channel scheduler states
+        | None ->
+            step_round ~rk ~round:!round ~scratch g live channel scheduler
+              states
         | Some c ->
             let prev_rk =
               if !round > 1 then Some (Rng.subkey base_key (!round - 1))

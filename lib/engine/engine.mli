@@ -44,6 +44,32 @@ type burst = {
           [max_rounds] still churning after the final burst *)
 }
 
+(** {2 Shared executor internals}
+
+    Used by both this executor and {!Flat}; exposed so the two stay on one
+    definition of burst accounting and key-lane derivation (the lanes {e
+    are} the determinism contract: channel loss, permutation and per-node
+    handle streams must coincide between executors for the differential
+    batteries to hold). *)
+
+val finalize_bursts :
+  event_rounds:(int * int) list ->
+  history:int list ->
+  rounds:int ->
+  converged:bool ->
+  burst list
+(** Fold per-round (round, applied-event-count) pairs — oldest first —
+    into maximal bursts and read recovery times off the change history. *)
+
+val lane_channel : Ss_prng.Rng.key -> Ss_prng.Rng.key
+(** Channel-plan lane of a round key. *)
+
+val lane_perm : Ss_prng.Rng.key -> Ss_prng.Rng.key
+(** Random-order permutation lane of a round key. *)
+
+val lane_handle : Ss_prng.Rng.key -> Ss_prng.Rng.key
+(** Per-node handle-generator lane of a round key (subkey by node). *)
+
 module Make (P : Protocol.S) : sig
   type mode =
     | Dense  (** every live node steps every round — the reference walk *)
@@ -156,7 +182,9 @@ module Make (P : Protocol.S) : sig
       the liveness mask and live states (all read-only) for mid-run
       instrumentation such as invariant monitoring. [states] warm-starts
       from a previous run; it must have exactly one entry per graph node
-      (raises [Invalid_argument] up front on a length mismatch).
+      (raises [Invalid_argument] up front on a length mismatch). The array
+      is copied on entry — the run never mutates the caller's snapshot, so
+      the same warm-start array can seed several runs.
 
       Randomness is split into two disjoint families. The supplied
       generator drives only the per-round plan evaluation — churn events,

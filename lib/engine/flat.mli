@@ -1,0 +1,63 @@
+(** The flat-memory executor: {!Engine.Make}'s round semantics re-hosted
+    on a {!Protocol.FLAT}'s struct-of-arrays planes, with the hot loop in
+    {!Flat_core} (CSR adjacency, domain-sharded dirty frontier, zero
+    per-round allocation).
+
+    Equivalent to [Engine.Make(P).run] — same states modulo
+    [P.equal_state], rounds, change history, bursts and faults for the
+    options both offer — for protocols honoring the {!Protocol.FLAT}
+    contract; the differential battery in [test/suite_flat.ml] enforces
+    flat ≡ sparse ≡ dense over random graphs, channels, schedulers,
+    churn and motion. Differences from the reference executor:
+
+    - [?domains] runs synchronous rounds sharded over a domain pool;
+      every domain count yields bit-identical results (see
+      {!Flat_core}).
+    - No [?fault] hook and no [?probe]: both hand typed state arrays to
+      arbitrary callbacks every round, which would force a full
+      unpack per round and defeat the flat representation. Use the churn
+      plan's [Corrupt] events for fault injection and [?on_round] for
+      instrumentation.
+    - Warm behavior is not optional: the protocol's [Flat.warm] is
+      always consulted (the typed executor's [Sparse { warm }] is a
+      per-run choice). *)
+
+module Make (P : Protocol.FLAT) : sig
+  type run = {
+    states : P.state array;  (** unpacked final states *)
+    rounds : int;
+    converged : bool;
+    last_change_round : int;
+    change_history : int list;
+    alive : bool array;
+    graph : Ss_topology.Graph.t;
+    bursts : Engine.burst list;
+    faults : Engine.fault_report list;
+  }
+
+  val run :
+    ?scheduler:Scheduler.t ->
+    ?channel:Ss_radio.Channel.t ->
+    ?max_rounds:int ->
+    ?quiet_rounds:int ->
+    ?churn:Churn.t ->
+    ?corrupt:(Ss_prng.Rng.t -> int -> P.state -> P.state) ->
+    ?motion:Engine.motion_hook ->
+    ?on_round:(Engine.round_info -> unit) ->
+    ?on_event:(round:int -> Churn.event -> unit) ->
+    ?domains:int ->
+    ?states:P.state array ->
+    Ss_prng.Rng.t ->
+    Ss_topology.Graph.t ->
+    run
+  (** Same per-round order and randomness discipline as
+      {!Engine.Make.run}: motion rebases first, churn events apply to the
+      rebased topology, then every live frontier node steps once over the
+      incremental snapshot. The supplied generator drives only plan
+      evaluation (churn, Join re-inits, Corrupt scrambles); everything
+      in-round is counter-keyed off a base key drawn at entry, so the
+      executors' draw streams coincide. [?states] warm-starts by packing
+      the array (one entry per node, checked); [?domains] (default 1)
+      shards synchronous state/emission phases over that many domains.
+      Defaults otherwise match the reference executor. *)
+end

@@ -30,3 +30,46 @@ module type S = sig
   val equal_state : state -> state -> bool
   (** Used for fixpoint detection. *)
 end
+
+(* A protocol that additionally exposes a flat-memory execution plane:
+   all per-node state packed into preallocated unboxed arrays, stepped in
+   place by index. The typed [S] operations stay the source of truth; the
+   [Flat] operations must be draw-for-draw and observation-equivalent to
+   them (pack/unpack round-trips, step == handle, refresh_emit tracks
+   emit), which the differential battery enforces. *)
+module type FLAT = sig
+  include S
+
+  module Flat : sig
+    type buffers
+    (* The whole deployment's state, struct-of-arrays. *)
+
+    type scratch
+    (* Per-worker reusable workspace; one per domain, never shared. *)
+
+    val alloc : Ss_topology.Graph.t -> buffers
+
+    val scratch : buffers -> scratch
+
+    val init_all : buffers -> Ss_prng.Rng.t -> Ss_topology.Graph.t -> unit
+
+    val pack : buffers -> int -> state -> unit
+
+    val unpack : buffers -> int -> state
+
+    val refresh_emit : buffers -> scratch -> int -> bool
+
+    val tick : buffers -> unit
+
+    val step :
+      buffers ->
+      scratch ->
+      Ss_prng.Rng.key ->
+      int ->
+      senders:int array ->
+      count:int ->
+      bool
+
+    val warm : buffers -> int -> bool
+  end
+end

@@ -73,3 +73,96 @@ module type S = sig
       freshness stamps) whose evolution is declared through the engine's
       warm hook. *)
 end
+
+(** A protocol that additionally exposes a {e flat-memory execution
+    plane} for the {!Flat} executor: the whole deployment's state packed
+    into preallocated unboxed arrays, stepped in place by node index with
+    no per-round allocation.
+
+    The typed {!S} operations remain the semantic source of truth. The
+    [Flat] operations are an alternative evaluation strategy over the
+    same protocol and must be {e draw-for-draw equivalent} to it:
+
+    - [pack]/[unpack] are mutually inverse on every reachable (and every
+      corrupted) state;
+    - [step] consumes exactly the generator draws [handle] would and
+      leaves [unpack] equal to [handle]'s result;
+    - [refresh_emit] makes the node's emission plane equal [emit] of its
+      current state and reports whether it changed;
+    - [init_all] consumes exactly the draws of [n] successive [init]
+      calls in ascending node order.
+
+    The differential battery in [test/suite_flat.ml] enforces all four
+    against the typed path. *)
+module type FLAT = sig
+  include S
+
+  module Flat : sig
+    type buffers
+    (** The whole deployment's mutable state, struct-of-arrays: one (or a
+        few) unboxed arrays per logical field, plus a per-node {e
+        emission plane} caching the frame each node currently broadcasts
+        (the flat analogue of the sparse executor's [last_msg]). *)
+
+    type scratch
+    (** Reusable per-worker workspace for [step]/[refresh_emit] — grown
+        on demand, never shared between domains. *)
+
+    val alloc : Ss_topology.Graph.t -> buffers
+    (** Buffers for one deployment, sized from the graph. The state
+        planes hold no meaningful values until [init_all] or [pack]; the
+        emission plane is poisoned so a first [refresh_emit] on any node
+        always reports a change. *)
+
+    val scratch : buffers -> scratch
+
+    val init_all : buffers -> Ss_prng.Rng.t -> Ss_topology.Graph.t -> unit
+    (** Initialize every node, drawing from the generator exactly as [n]
+        successive {!S.init} calls would (ascending node order), but
+        without materializing typed states — deployment-wide constants
+        are computed once instead of per node. *)
+
+    val pack : buffers -> int -> state -> unit
+    (** Overwrite node [p]'s state planes from a typed state (warm
+        starts, churn re-inits, corruption). Does {e not} touch the
+        emission plane — callers follow with [refresh_emit]. *)
+
+    val unpack : buffers -> int -> state
+    (** Read node [p]'s state planes back into a typed state. *)
+
+    val refresh_emit : buffers -> scratch -> int -> bool
+    (** Recompute node [p]'s emission plane from its state planes;
+        [true] iff the emitted frame changed. *)
+
+    val tick : buffers -> unit
+    (** Advance the buffers' round counter. Executors call it exactly
+        once per round, before the state phase. Protocols may use it to
+        version internal memoization (e.g. detecting that a neighbor's
+        emission is unchanged since a cache was built); correctness must
+        not depend on it — a protocol that never ticks just runs without
+        the shortcuts. *)
+
+    val step :
+      buffers ->
+      scratch ->
+      Ss_prng.Rng.key ->
+      int ->
+      senders:int array ->
+      count:int ->
+      bool
+    (** One guarded-assignment step of node [p]: read the emission planes
+        of [senders.(0 .. count-1)] (ascending sender order — the flat
+        analogue of the engine's per-neighbor frame list), rewrite [p]'s
+        state planes, and report whether the state changed in the
+        {!S.equal_state} sense. The key is the round's handle lane; a
+        protocol needing randomness derives node [p]'s generator as
+        [Rng.of_key (Rng.subkey key p)] — lazily, so the (rare) draw
+        path alone pays the generator allocation. Must {e not} write
+        the emission plane (the executor separates state and emission
+        phases so synchronous rounds can run sharded). Writes only node
+        [p]'s slots, so distinct nodes step safely in parallel. *)
+
+    val warm : buffers -> int -> bool
+    (** Pending time-based behavior, as in {!Engine.Make.mode}. *)
+  end
+end

@@ -50,9 +50,12 @@ let run_once rng ~spec =
   let module E = Ss_engine.Engine.Make (P) in
   let states = E.init_states rng graph in
   let snapshots = ref [] in
+  (* [run] copies [~states] at entry (warm-start runs never mutate the
+     caller's array), so per-round observation goes through [probe]. *)
   let (_ : E.run) =
     E.run ~states
-      ~on_round:(fun _ -> snapshots := Array.copy states :: !snapshots)
+      ~probe:(fun ~round:_ ~graph:_ ~alive:_ sts ->
+        snapshots := Array.copy sts :: !snapshots)
       rng graph
   in
   let snapshots = Array.of_list (List.rev !snapshots) in

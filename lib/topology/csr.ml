@@ -1,0 +1,41 @@
+(* Compressed-sparse-row view of a graph: two int arrays, no per-row
+   boxing, rows contiguous in index order. The flat engine iterates
+   adjacency through this during the round loop — one cache-friendly
+   array walk per node instead of a pointer chase through per-row
+   arrays. *)
+
+type t = {
+  n : int;
+  xadj : int array; (* length n+1; row p is adj.[xadj.(p) .. xadj.(p+1)) *)
+  adj : int array; (* concatenated sorted rows *)
+}
+
+let of_graph g =
+  let n = Graph.node_count g in
+  let xadj = Array.make (n + 1) 0 in
+  for p = 0 to n - 1 do
+    xadj.(p + 1) <- xadj.(p) + Graph.degree g p
+  done;
+  let adj = Array.make (max 1 xadj.(n)) 0 in
+  for p = 0 to n - 1 do
+    let row = Graph.neighbors g p in
+    Array.blit row 0 adj xadj.(p) (Array.length row)
+  done;
+  { n; xadj; adj }
+
+let node_count t = t.n
+
+let degree t p = t.xadj.(p + 1) - t.xadj.(p)
+
+let edge_count t = t.xadj.(t.n) / 2
+
+let mem t p q =
+  (* Binary search within the sorted row. *)
+  let lo = ref t.xadj.(p) and hi = ref t.xadj.(p + 1) in
+  let found = ref false in
+  while (not !found) && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = t.adj.(mid) in
+    if v = q then found := true else if v < q then lo := mid + 1 else hi := mid
+  done;
+  !found

@@ -1,0 +1,25 @@
+(** Compressed-sparse-row adjacency: the whole graph in two int arrays.
+
+    The flat engine's round loop iterates neighborhoods through this
+    representation — row [p] occupies [adj.(xadj.(p)) .. adj.(xadj.(p+1) - 1)],
+    sorted ascending, so a frontier sweep in index order walks [adj]
+    almost linearly and allocates nothing. The record is exposed because
+    the hot loops index the arrays directly; treat both as read-only. *)
+
+type t = private {
+  n : int;
+  xadj : int array;  (** length [n + 1]; row offsets, [xadj.(0) = 0] *)
+  adj : int array;  (** concatenated sorted rows, length [>= xadj.(n)] *)
+}
+
+val of_graph : Graph.t -> t
+(** O(n + m) flattening of the graph's adjacency. The result is a frozen
+    copy: later changes to dynamic overlays or rebased graphs do not show
+    through (the flat engine patches rebased rows via its own overlay). *)
+
+val node_count : t -> int
+val degree : t -> int -> int
+val edge_count : t -> int
+
+val mem : t -> int -> int -> bool
+(** Logarithmic membership test within row [p]. *)

@@ -14,9 +14,15 @@ type t = {
   mutable cache : Graph.t; (* last materialized snapshot *)
   row_dirty : bool array; (* rows of [cache] stale since the last snapshot *)
   mutable dirty_rows : int list; (* the marked rows, each exactly once *)
+  reuse : bool; (* patch one owned snapshot in place instead of copying *)
+  mutable owned : int array array option;
+      (* [reuse] only: the private row backing of [cache], created at the
+         first divergence from the base and patched in place forever after —
+         [snapshot] then costs O(touched degrees) with no O(n) row-pointer
+         copy per flipped round. *)
 }
 
-let create base =
+let create ?(reuse_snapshots = false) base =
   {
     base;
     status = Array.make (Graph.node_count base) Alive;
@@ -24,6 +30,8 @@ let create base =
     cache = base;
     row_dirty = Array.make (Graph.node_count base) false;
     dirty_rows = [];
+    reuse = reuse_snapshots;
+    owned = None;
   }
 
 let base t = t.base
@@ -116,6 +124,8 @@ let is_link_down t p q =
   check_node t q;
   Hashtbl.mem t.down (norm p q)
 
+let down_count t = Hashtbl.length t.down
+
 let compare_links (p1, q1) (p2, q2) =
   match Int.compare p1 p2 with 0 -> Int.compare q1 q2 | c -> c
 
@@ -126,6 +136,15 @@ let rebase t ~base ~added ~removed =
   if Graph.node_count base <> node_count t then
     invalid_arg "Dynamic.rebase: node count mismatch";
   t.base <- base;
+  (* In reuse mode the cached snapshot record was built with the positions
+     of an earlier base; re-wrap the owned rows so the snapshot always
+     carries the current base's position buffer (O(1): the rows are
+     adopted by reference, and under motion the buffer is live-aliased so
+     this usually re-wraps the same array). *)
+  (match t.owned with
+  | Some rows ->
+      t.cache <- Graph.of_sorted_adjacency ?positions:(Graph.positions base) rows
+  | None -> ());
   (* A down-mark on a link that left the base graph is dropped: if motion
      later brings the pair back in range, the fresh link starts up. Only
      the diff endpoints' rows can differ between the old and new base, so
@@ -186,14 +205,24 @@ let snapshot t =
   (match t.dirty_rows with
   | [] -> ()
   | dirty ->
-      (if pristine t then t.cache <- t.base
-       else begin
-         let n = node_count t in
-         let rows = Array.init n (fun p -> Graph.neighbors t.cache p) in
-         List.iter (fun p -> rows.(p) <- rebuild_row t p) dirty;
-         t.cache <-
-           Graph.of_sorted_adjacency ?positions:(Graph.positions t.base) rows
-       end);
+      (match t.owned with
+      | Some rows ->
+          (* Reuse mode, already diverged: [cache] wraps [rows], so
+             patching the touched rows in place is the whole update — no
+             fresh graph record, no O(n) row-pointer copy. The returned
+             graph is the same mutable object every round (see the .mli
+             contract). *)
+          List.iter (fun p -> rows.(p) <- rebuild_row t p) dirty
+      | None ->
+          if pristine t then t.cache <- t.base
+          else begin
+            let n = node_count t in
+            let rows = Array.init n (fun p -> Graph.neighbors t.cache p) in
+            List.iter (fun p -> rows.(p) <- rebuild_row t p) dirty;
+            if t.reuse then t.owned <- Some rows;
+            t.cache <-
+              Graph.of_sorted_adjacency ?positions:(Graph.positions t.base) rows
+          end);
       List.iter (fun p -> t.row_dirty.(p) <- false) dirty;
       t.dirty_rows <- []);
   t.cache

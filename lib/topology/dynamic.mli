@@ -26,8 +26,20 @@ type status =
 
 type t
 
-val create : Graph.t -> t
-(** All nodes [Alive], all base links up. *)
+val create : ?reuse_snapshots:bool -> Graph.t -> t
+(** All nodes [Alive], all base links up.
+
+    [reuse_snapshots] (default [false]) trades snapshot immutability for
+    an allocation-free patch path: after the first divergence from the
+    base, {!snapshot} patches one privately owned graph {e in place} and
+    returns that same object every time, so a flipped round costs only
+    the touched degrees — the default mode additionally copies the O(n)
+    row-pointer array per flipped round to keep every returned snapshot
+    immutable. Under reuse, a snapshot held across a later event {e sees
+    the mutation}; callers must consume each snapshot within its round
+    (the engine hot paths do). Also, once diverged, a return to the
+    pristine state keeps returning the owned graph (structurally equal
+    to the base, but not physically the base graph). *)
 
 val base : t -> Graph.t
 (** The underlying static graph (node universe and potential links). *)
@@ -70,6 +82,10 @@ val link_up : t -> int -> int -> bool
 (** Restore a downed base link; [false] if it was not down. *)
 
 val is_link_down : t -> int -> int -> bool
+
+val down_count : t -> int
+(** Number of currently downed links, O(1) — hot paths use it to skip
+    per-edge {!is_link_down} probes entirely when nothing is down. *)
 
 val down_list : t -> (int * int) list
 (** Downed links, each once with [p < q], sorted. *)

@@ -5,6 +5,8 @@ type t = {
   n : int;
   adj : int array array;
   positions : Ss_geom.Vec2.t array option;
+  mutable max_deg : int; (* memo, -1 until first queried; rows are
+                            immutable by contract so it cannot go stale *)
 }
 
 let node_count t = t.n
@@ -25,7 +27,12 @@ let edge_count t =
   sum / 2
 
 let max_degree t =
-  Array.fold_left (fun acc a -> max acc (Array.length a)) 0 t.adj
+  (* Memoized: protocol initialisation queries this once per node (the
+     namespace size is degree-derived), which turned cold starts
+     quadratic at 100k+ nodes. *)
+  if t.max_deg < 0 then
+    t.max_deg <- Array.fold_left (fun acc a -> max acc (Array.length a)) 0 t.adj;
+  t.max_deg
 
 let mean_degree t =
   if t.n = 0 then 0.0
@@ -107,7 +114,7 @@ let of_edges ?positions ~n edge_list =
         dedup_sorted a)
       buckets
   in
-  { n; adj; positions }
+  { n; adj; positions; max_deg = -1 }
 
 (* Trusted constructor: the caller certifies the invariants that
    [of_adjacency] would otherwise re-establish (rows strictly sorted, no
@@ -121,7 +128,7 @@ let of_sorted_adjacency ?positions adj =
   | Some pos when Array.length pos <> n ->
       invalid_arg "Graph.of_sorted_adjacency: positions length mismatch"
   | Some _ | None -> ());
-  { n; adj; positions }
+  { n; adj; positions; max_deg = -1 }
 
 let of_adjacency ?positions adj =
   let n = Array.length adj in
@@ -142,7 +149,7 @@ let of_adjacency ?positions adj =
         dedup_sorted a)
       adj
   in
-  let t = { n; adj = cleaned; positions } in
+  let t = { n; adj = cleaned; positions; max_deg = -1 } in
   (* Symmetry is an invariant of the radio model (bidirectional links). *)
   iter_nodes t (fun p ->
       Array.iter
@@ -173,7 +180,7 @@ let unit_disk ~radius positions =
     Array.init n (fun p ->
         Array.of_list (Ss_geom.Grid_index.neighbors index p radius))
   in
-  { n; adj; positions = Some positions }
+  { n; adj; positions = Some positions; max_deg = -1 }
 
 let equal a b =
   a.n = b.n

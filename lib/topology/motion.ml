@@ -36,9 +36,12 @@ type diff = {
   added : (int * int) list;
   removed : (int * int) list;
   moved : int list;
+  n_added : int;
+  n_removed : int;
 }
 
-let empty_diff = { added = []; removed = []; moved = [] }
+let empty_diff =
+  { added = []; removed = []; moved = []; n_added = 0; n_removed = 0 }
 
 let create ?(box = Ss_geom.Bbox.unit_square) ~radius positions =
   if radius < 0.0 then invalid_arg "Motion.create: negative radius";
@@ -231,10 +234,18 @@ let flush t =
       if !any_row_changed then
         t.graph <-
           Graph.of_sorted_adjacency ~positions:t.pos (Array.copy t.rows);
+      (* Counts ride along in the record: every consumer needs "did any
+         edge flip" (and most want the magnitude), and the producer just
+         walked the lists — recomputing the lengths downstream would be a
+         second O(diff) pass per round. *)
+      let added = List.sort_uniq compare_links !added in
+      let removed = List.sort_uniq compare_links !removed in
       {
-        added = List.sort_uniq compare_links !added;
-        removed = List.sort_uniq compare_links !removed;
+        added;
+        removed;
         moved;
+        n_added = List.length added;
+        n_removed = List.length removed;
       }
 
 let pp ppf t =

@@ -18,7 +18,11 @@ type diff = {
   added : (int * int) list;  (** new edges, [p < q], sorted *)
   removed : (int * int) list;  (** dropped edges, [p < q], sorted *)
   moved : int list;  (** nodes whose position changed, sorted *)
+  n_added : int;  (** [List.length added], counted by the producer *)
+  n_removed : int;  (** [List.length removed], counted by the producer *)
 }
+(** The counts are part of the record so per-round consumers (the engine's
+    quiescence test fires every motion round) need not re-walk the lists. *)
 
 val empty_diff : diff
 

@@ -155,9 +155,12 @@ let test_knowledge_schedule_small () =
   let rng = Rng.create ~seed:3 in
   let states = E_basic.init_states rng graph in
   let snapshots = ref [] in
+  (* [run] copies [~states] at entry (warm-start runs never mutate the
+     caller's array), so per-round observation goes through [probe]. *)
   let _ =
     E_basic.run ~states
-      ~on_round:(fun _ -> snapshots := Array.map Fun.id states :: !snapshots)
+      ~probe:(fun ~round:_ ~graph:_ ~alive:_ sts ->
+        snapshots := Array.copy sts :: !snapshots)
       rng graph
   in
   let rounds = Array.of_list (List.rev !snapshots) in

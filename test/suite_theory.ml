@@ -38,13 +38,13 @@ let test_lemma1_density_by_round_two () =
     let graph = Builders.gnp rng ~n:40 ~p:0.1 in
     let oracle = Cluster.Density.compute_all graph in
     let states = E.init_states rng graph in
-    let round = ref 0 in
     let ok_at_two = ref true in
+    (* [run] copies [~states] at entry, so the round-2 inspection goes
+       through [probe], which lends the live array. *)
     let _ =
       E.run ~states
-        ~on_round:(fun _ ->
-          incr round;
-          if !round = 2 then
+        ~probe:(fun ~round ~graph:_ ~alive:_ sts ->
+          if round = 2 then
             Array.iteri
               (fun p st ->
                 match st.Distributed.density with
@@ -52,7 +52,7 @@ let test_lemma1_density_by_round_two () =
                     if not (Cluster.Density.equal d oracle.(p)) then
                       ok_at_two := false
                 | None -> ok_at_two := false)
-              states)
+              sts)
         rng graph
     in
     Alcotest.(check bool)

@@ -14,6 +14,7 @@ let () =
       ("maxmin", Suite_maxmin.suite);
       ("engine", Suite_engine.suite);
       ("sparse", Suite_sparse.suite);
+      ("flat", Suite_flat.suite);
       ("adversary", Suite_adversary.suite);
       ("monitor", Suite_monitor.suite);
       ("churn", Suite_churn.suite);
