@@ -461,6 +461,81 @@ let adversary_cmd =
       const run $ seed_arg $ runs_arg 5 $ jobs_arg $ sparse_arg $ smoke_arg
       $ csv_arg)
 
+let traffic_cmd =
+  let doc =
+    "Robustness: the data-plane workload routed over the believed cluster \
+     hierarchy while it stabilizes — delivery ratio, latency and retries \
+     across load x channel x crash-burst cells, with energy drain feeding \
+     depleted nodes back into churn. Always ends with the sparse-vs-flat \
+     replay of the heavy/lossy/burst cell and exits non-zero if the \
+     executors disagree on any observable or the delivery ratio never \
+     recovers to 95% of its pre-burst level."
+  in
+  let executor_arg =
+    let doc =
+      "Executor for the sweep: $(b,dense), $(b,sparse) or $(b,flat). The \
+       verification replay always runs sparse and flat regardless."
+    in
+    let e =
+      Arg.enum
+        [
+          ("dense", E.Exp_traffic.Dense);
+          ("sparse", E.Exp_traffic.Sparse);
+          ("flat", E.Exp_traffic.Flat);
+        ]
+    in
+    Arg.(
+      value
+      & opt e E.Exp_traffic.Sparse
+      & info [ "executor" ] ~docv:"EXECUTOR" ~doc)
+  in
+  let rounds_arg =
+    let doc = "Last round with message arrivals; runs extend by the TTL." in
+    Arg.(value & opt int 220 & info [ "rounds" ] ~docv:"ROUNDS" ~doc)
+  in
+  let window_arg =
+    let doc = "Cohort width (rounds) for the dip-and-recovery series." in
+    Arg.(value & opt int 20 & info [ "window" ] ~docv:"ROUNDS" ~doc)
+  in
+  let run seed runs jobs executor rounds window csv =
+    let rows =
+      E.Exp_traffic.run ~seed ~runs ~domains:jobs ~executor ~rounds ~window ()
+    in
+    output ~csv (E.Exp_traffic.to_table rows);
+    let v = E.Exp_traffic.verify ~seed ~rounds ~window () in
+    if not csv then begin
+      Fmt.pr
+        "verification (heavy load, lossy channel, crash burst): sparse vs \
+         flat %s@."
+        (if v.E.Exp_traffic.v_agree then "bit-identical" else "DIVERGED");
+      if not v.E.Exp_traffic.v_agree then
+        Fmt.pr "  %s@." v.E.Exp_traffic.v_detail;
+      Fmt.pr
+        "  delivery %.3f  latency mean %.1f  pre-burst %.3f  dip %.3f  \
+         recovered %s@."
+        v.E.Exp_traffic.v_ratio v.E.Exp_traffic.v_latency_mean
+        v.E.Exp_traffic.v_pre v.E.Exp_traffic.v_dip
+        (match v.E.Exp_traffic.v_recovered_at with
+        | Some r -> Fmt.str "+%d rounds after the burst" r
+        | None -> "never")
+    end;
+    let recovered = Option.is_some v.E.Exp_traffic.v_recovered_at in
+    if not (v.E.Exp_traffic.v_agree && recovered) then begin
+      if not v.E.Exp_traffic.v_agree then
+        Fmt.epr "ERROR: sparse and flat executors diverged: %s@."
+          v.E.Exp_traffic.v_detail;
+      if not recovered then
+        Fmt.epr
+          "ERROR: delivery ratio never recovered to 95%% of its pre-burst \
+           level@.";
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "traffic" ~doc)
+    Term.(
+      const run $ seed_arg $ runs_arg 2 $ jobs_arg $ executor_arg $ rounds_arg
+      $ window_arg $ csv_arg)
+
 let all_cmd =
   let doc = "Run every experiment with fast defaults." in
   let run seed jobs =
@@ -506,22 +581,68 @@ let all_cmd =
     Fmt.pr "@.== Extension: continuous motion ==@.";
     E.Exp_motion.print ~seed ~runs:2 ~rounds:80
       ~spec:(E.Scenario.poisson ~intensity:150.0 ~radius:0.12 ())
-      ~domains ()
+      ~domains ();
+    Fmt.pr "@.== Extension: flat executor (cross-checked) ==@.";
+    Table.print
+      (E.Exp_flat.to_table
+         (E.Exp_flat.run ~seed ~sizes:[ 500; 1_000 ] ~check_upto:1_000 ()));
+    Fmt.pr "@.== Robustness: fault campaign (smoke grid) ==@.";
+    Table.print
+      (E.Exp_campaign.to_table
+         (E.Exp_campaign.run ~seed ~runs:1 ~domains
+            ~spec:(E.Scenario.uniform ~count:30 ~radius:0.2 ())
+            ~grid:E.Exp_campaign.smoke_grid ~max_rounds:800 ()));
+    Fmt.pr "@.== Robustness: Byzantine adversary (smoke) ==@.";
+    Table.print
+      (E.Exp_adversary.to_table
+         (E.Exp_adversary.run ~seed ~runs:1 ~domains
+            ~spec:(E.Scenario.uniform ~count:30 ~radius:0.2 ())
+            ~behaviors:[ Ss_engine.Adversary.Stuck ]
+            ~counts:[ 2 ]
+            ~channels:[ Ss_radio.Channel.perfect ]
+            ~max_rounds:400 ()));
+    Fmt.pr "@.== Robustness: data-plane traffic ==@.";
+    E.Exp_traffic.print ~seed ~runs:1 ~domains
+      ~spec:(E.Scenario.poisson ~intensity:300.0 ~radius:0.1 ())
+      ~rounds:120 ()
   in
   Cmd.v (Cmd.info "all" ~doc) Term.(const run $ seed_arg $ jobs_arg)
+
+(* The single command registry: the group below, the help listing and the
+   unknown-subcommand message all derive from this list, so a sweep added
+   here is automatically visible everywhere (adversary, motion, flat and
+   traffic had previously drifted out of sync). *)
+let commands =
+  [
+    table1_cmd; table2_cmd; table3_cmd; table4_cmd; table5_cmd;
+    figures_cmd; mobility_cmd; selfstab_cmd; compare_cmd; energy_cmd;
+    hierarchy_cmd; bounds_cmd; links_cmd; churn_cmd; motion_cmd;
+    flat_cmd; campaign_cmd; adversary_cmd; traffic_cmd; all_cmd;
+  ]
 
 let main_cmd =
   let doc =
     "Reproduction of `Self-stabilization in self-organized multihop \
      wireless networks' (Mitton, Fleury, Guerin Lassous, Tixeuil)."
   in
-  Cmd.group
-    (Cmd.info "repro" ~version:"1.0.0" ~doc)
-    [
-      table1_cmd; table2_cmd; table3_cmd; table4_cmd; table5_cmd;
-      figures_cmd; mobility_cmd; selfstab_cmd; compare_cmd; energy_cmd;
-      hierarchy_cmd; bounds_cmd; links_cmd; churn_cmd; motion_cmd;
-      flat_cmd; campaign_cmd; adversary_cmd; all_cmd;
-    ]
+  Cmd.group (Cmd.info "repro" ~version:"1.0.0" ~doc) commands
 
-let () = exit (Cmd.eval main_cmd)
+let () =
+  (* Catch unknown subcommands before Cmdliner: fail loudly with the full
+     registry instead of a terse parse error, and always exit non-zero. *)
+  (match Sys.argv with
+  | [||] | [| _ |] -> ()
+  | argv ->
+      let name = argv.(1) in
+      let names = List.map Cmd.name commands in
+      if
+        String.length name > 0
+        && name.[0] <> '-'
+        && not (List.mem name names)
+      then begin
+        Fmt.epr "repro: unknown command '%s'.@.Available commands:@." name;
+        List.iter (fun n -> Fmt.epr "  %s@." n) names;
+        Fmt.epr "Run 'repro --help' for per-command details.@.";
+        exit 2
+      end);
+  exit (Cmd.eval main_cmd)

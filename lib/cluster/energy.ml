@@ -41,15 +41,27 @@ type drain = {
 
 let default_drain = { head_per_epoch = 5.0; member_per_epoch = 1.0 }
 
-let spend b amount = b.charge <- Float.max 0.0 (b.charge -. amount)
+let spend b amount =
+  (* A negative amount would silently recharge the battery — always a
+     sign convention bug in the caller (a drain expressed as a delta). *)
+  if amount < 0.0 then
+    invalid_arg
+      (Printf.sprintf "Energy.spend: negative amount %g (drains are positive)"
+         amount);
+  b.charge <- Float.max 0.0 (b.charge -. amount)
 
-let apply_drain ~drain batteries assignment =
+let apply_duty ~drain batteries ~alive ~is_head =
   Array.iteri
     (fun p b ->
-      if is_alive b then
-        if Assignment.is_head assignment p then spend b drain.head_per_epoch
+      if alive p && is_alive b then
+        if is_head p then spend b drain.head_per_epoch
         else spend b drain.member_per_epoch)
     batteries
+
+let apply_drain ~drain batteries assignment =
+  apply_duty ~drain batteries
+    ~alive:(fun _ -> true)
+    ~is_head:(Assignment.is_head assignment)
 
 (* The energy-aware election value: density quantized into [bands] bands
    (so that small density differences do not override energy), with the

@@ -20,12 +20,26 @@ val level : ?levels:int -> battery -> int
     battery is level 0. *)
 
 val spend : battery -> float -> unit
-(** Drain, clamped at zero. *)
+(** Drain, clamped at zero. Raises [Invalid_argument] on a negative
+    amount — a drain expressed with the wrong sign would silently
+    recharge the battery. *)
 
 type drain = { head_per_epoch : float; member_per_epoch : float }
 
 val default_drain : drain
 (** Head duty costs 5 units per epoch, member duty 1. *)
+
+val apply_duty :
+  drain:drain ->
+  battery array ->
+  alive:(int -> bool) ->
+  is_head:(int -> bool) ->
+  unit
+(** One epoch of duty costs against arbitrary role predicates — the form
+    the data-plane workload uses, where "head" is each node's {e
+    believed} role read from its protocol state rather than an oracle
+    {!Assignment.t}. Dead nodes (by predicate or by empty battery) pay
+    nothing. *)
 
 val apply_drain : drain:drain -> battery array -> Assignment.t -> unit
 (** One epoch of duty costs, per the assignment's roles. *)

@@ -351,8 +351,8 @@ module Make (P : Protocol.S) = struct
 
   let run ?(mode = Dense) ?(scheduler = Scheduler.Synchronous)
       ?(channel = Channel.perfect) ?(max_rounds = 10_000) ?(quiet_rounds = 1)
-      ?fault ?churn ?corrupt ?motion ?on_round ?on_event ?probe ?states rng
-      graph =
+      ?fault ?churn ?corrupt ?motion ?on_round ?on_event ?probe ?workload
+      ?states rng graph =
     if max_rounds < 0 then invalid_arg "Engine.run: negative round budget";
     if quiet_rounds < 1 then invalid_arg "Engine.run: quiet_rounds must be >= 1";
     (* The base key is drawn first, so the keyed lanes are a pure function
@@ -407,7 +407,17 @@ module Make (P : Protocol.S) = struct
     let history = ref [] in
     let event_rounds = ref [] in
     let faults = ref [] in
-    while (!quiet < quiet_rounds || !round < horizon) && !round < max_rounds do
+    (* A workload (data-plane traffic riding on the protocol's structure)
+       keeps the run alive through protocol quiescence exactly like a
+       bounded churn horizon: messages still in flight need rounds to
+       drain even when no state changes. It does not touch the quiescence
+       counter — stabilization metrics stay comparable with and without
+       traffic. *)
+    let wl_active = ref (workload <> None) in
+    while
+      (!quiet < quiet_rounds || !round < horizon || !wl_active)
+      && !round < max_rounds
+    do
       incr round;
       (* Motion first: nodes drift, the base graph is rebased to the new
          unit-disk topology, and churn below applies to the rewired links.
@@ -518,6 +528,12 @@ module Make (P : Protocol.S) = struct
       (match probe with
       | None -> ()
       | Some f -> f ~round:!round ~graph:g ~alive:live states);
+      (match workload with
+      | None -> ()
+      | Some tickf ->
+          wl_active :=
+            tickf ~round:!round ~graph:g ~alive:live ~read:(fun p ->
+                states.(p)));
       if changed > 0 || victims <> [] || applied > 0 || !moved_links > 0
       then begin
         quiet := 0;

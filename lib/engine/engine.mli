@@ -139,6 +139,12 @@ module Make (P : Protocol.S) : sig
       alive:bool array ->
       P.state array ->
       unit) ->
+    ?workload:
+      (round:int ->
+      graph:Ss_topology.Graph.t ->
+      alive:bool array ->
+      read:(int -> P.state) ->
+      bool) ->
     ?states:P.state array ->
     Ss_prng.Rng.t ->
     Ss_topology.Graph.t ->
@@ -185,6 +191,18 @@ module Make (P : Protocol.S) : sig
       (raises [Invalid_argument] up front on a length mismatch). The array
       is copied on entry — the run never mutates the caller's snapshot, so
       the same warm-start array can seed several runs.
+
+      [workload] is the data-plane hook ({!Ss_traffic.Workload} is the
+      canonical client): it fires once per round, after [probe], with the
+      round's effective snapshot, liveness mask and a read-only state
+      accessor, and returns whether the workload is still active. An
+      active workload keeps the run alive through protocol quiescence
+      (like a bounded churn horizon) so in-flight messages can drain;
+      it never resets the quiescence counter, so [last_change_round] and
+      [converged] mean the same thing with and without traffic. The hook
+      must not mutate protocol state, and any randomness it consumes
+      must be counter-keyed from its own key — never the run's generator
+      — or executor equivalence (dense ≡ sparse ≡ flat) breaks.
 
       Randomness is split into two disjoint families. The supplied
       generator drives only the per-round plan evaluation — churn events,

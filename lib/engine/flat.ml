@@ -28,7 +28,7 @@ module Make (P : Protocol.FLAT) = struct
 
   let run ?(scheduler = Scheduler.Synchronous) ?(channel = Channel.perfect)
       ?(max_rounds = 10_000) ?(quiet_rounds = 1) ?churn ?corrupt ?motion
-      ?on_round ?on_event ?(domains = 1) ?states rng graph =
+      ?on_round ?on_event ?workload ?(domains = 1) ?states rng graph =
     if max_rounds < 0 then invalid_arg "Flat.run: negative round budget";
     if quiet_rounds < 1 then invalid_arg "Flat.run: quiet_rounds must be >= 1";
     if domains < 1 then invalid_arg "Flat.run: domains must be >= 1";
@@ -88,7 +88,15 @@ module Make (P : Protocol.FLAT) = struct
     let history = ref [] in
     let event_rounds = ref [] in
     let faults = ref [] in
-    while (!quiet < quiet_rounds || !round < horizon) && !round < max_rounds do
+    (* As in Engine.run: an active workload keeps the run alive through
+       protocol quiescence without resetting the quiescence counter. The
+       hook reads states through unpack-on-demand, so its cost scales
+       with the traffic it carries, not the network. *)
+    let wl_active = ref (workload <> None) in
+    while
+      (!quiet < quiet_rounds || !round < horizon || !wl_active)
+      && !round < max_rounds
+    do
       incr round;
       P.Flat.tick buffers;
       (* Motion first, as in Engine.run: rebase the dynamic base, patch
@@ -246,6 +254,12 @@ module Make (P : Protocol.FLAT) = struct
       | None -> ()
       | Some f ->
           f { Engine.round = !round; changed; events = applied; corrupted });
+      (match workload with
+      | None -> ()
+      | Some tickf ->
+          wl_active :=
+            tickf ~round:!round ~graph:g ~alive:live
+              ~read:(P.Flat.unpack buffers));
       if changed > 0 || applied > 0 || !moved_links > 0 then begin
         quiet := 0;
         last_change := !round

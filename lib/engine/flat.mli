@@ -45,6 +45,12 @@ module Make (P : Protocol.FLAT) : sig
     ?motion:Engine.motion_hook ->
     ?on_round:(Engine.round_info -> unit) ->
     ?on_event:(round:int -> Churn.event -> unit) ->
+    ?workload:
+      (round:int ->
+      graph:Ss_topology.Graph.t ->
+      alive:bool array ->
+      read:(int -> P.state) ->
+      bool) ->
     ?domains:int ->
     ?states:P.state array ->
     Ss_prng.Rng.t ->
@@ -59,5 +65,11 @@ module Make (P : Protocol.FLAT) : sig
       executors' draw streams coincide. [?states] warm-starts by packing
       the array (one entry per node, checked); [?domains] (default 1)
       shards synchronous state/emission phases over that many domains.
-      Defaults otherwise match the reference executor. *)
+      [?workload] is {!Engine.Make.run}'s data-plane hook with [read]
+      backed by unpack-on-demand: the hook pays one typed unpack per
+      state it actually inspects, so idle traffic costs nothing and the
+      flat representation survives. Same activity semantics: an active
+      workload keeps the run alive through quiescence without resetting
+      the quiescence counter. Defaults otherwise match the reference
+      executor. *)
 end

@@ -1,0 +1,165 @@
+module Vec2 = Ss_geom.Vec2
+module D = Ss_cluster.Distributed
+
+type peer = { p_node : int; p_is_head : bool; p_claims : int array }
+
+type view = {
+  v_head : int option;
+  v_parent : int option;
+  v_peers : peer array;
+  v_far_heads : int array;
+}
+
+(* Freshness stamps (e_heard/f_heard) and the clock are the only cache
+   fields whose dense/sparse evolution differs (DESIGN §9: skipped nodes
+   do not age refreshed entries); projecting them away here is what makes
+   routing — and therefore the whole workload — executor-independent. *)
+let of_distributed (st : D.state) =
+  let peers =
+    Array.of_list
+      (List.map
+         (fun ((q, e) : int * D.entry) ->
+           {
+             p_node = q;
+             p_is_head = e.D.e_head = Some q;
+             p_claims = e.D.e_nbrs;
+           })
+         st.D.cache)
+  in
+  let far_heads =
+    Array.of_list
+      (List.filter_map
+         (fun ((v, f) : int * D.far_entry) ->
+           if f.D.f_is_head then Some v else None)
+         st.D.far)
+  in
+  {
+    v_head = st.D.head;
+    v_parent = st.D.parent;
+    v_peers = peers;
+    v_far_heads = far_heads;
+  }
+
+let no_via = -1
+
+type decision = Forward of { next : int; via : int; advance : bool } | Stall
+
+let claims pr t =
+  let a = pr.p_claims in
+  let k = Array.length a in
+  let i = ref 0 in
+  let found = ref false in
+  while (not !found) && !i < k do
+    if a.(!i) = t then found := true;
+    incr i
+  done;
+  !found
+
+let next_hop ~(positions : Vec2.t array) ~view_of ~n ~cur ~dst ~via ~prev
+    ~banned =
+  if dst < 0 || dst >= n || cur = dst then Stall
+  else begin
+    let v = view_of cur in
+    (* Every candidate read out of a (possibly corrupted) table is
+       bounds-checked before its position is touched. *)
+    let usable q = q >= 0 && q < n && q <> cur && q <> prev && not (banned q) in
+    let d2 a b = Vec2.dist2 positions.(a) positions.(b) in
+    let peer q =
+      let found = ref false in
+      Array.iter (fun pr -> if pr.p_node = q then found := true) v.v_peers;
+      !found
+    in
+    (* Smallest objective wins; ties break to the smaller index so the
+       choice is a pure function of the view. *)
+    let best_peer pred obj =
+      let best = ref (-1) and best_d = ref infinity in
+      Array.iter
+        (fun pr ->
+          let q = pr.p_node in
+          if usable q && pred pr then begin
+            let d = obj q in
+            if d < !best_d || (d = !best_d && (!best < 0 || q < !best)) then begin
+              best := q;
+              best_d := d
+            end
+          end)
+        v.v_peers;
+      !best
+    in
+    if usable dst && peer dst then
+      Forward { next = dst; via = no_via; advance = true }
+    else begin
+      let bridge = best_peer (fun pr -> claims pr dst) (fun q -> d2 q dst) in
+      if bridge >= 0 then
+        Forward { next = bridge; via = no_via; advance = true }
+      else begin
+        let d_cur = d2 cur dst in
+        (* Ride the carried waypoint only while it still pulls strictly
+           forward — a waypoint that no longer beats the holder's own
+           position is dropped, never chased backward. *)
+        let ride =
+          if via >= 0 && via < n && via <> cur && not (banned via)
+             && d2 via dst < d_cur
+          then
+            if usable via && peer via then
+              Some (Forward { next = via; via; advance = true })
+            else begin
+              let b = best_peer (fun pr -> claims pr via) (fun q -> d2 q via) in
+              if b >= 0 then Some (Forward { next = b; via; advance = true })
+              else None
+            end
+          else None
+        in
+        match ride with
+        | Some d -> d
+        | None ->
+            (* Strict progress, peers and backbone heads on one
+               objective: a candidate's endpoint (the peer itself, or
+               the head its bridge leads to) must be strictly closer to
+               the destination than the holder. Longest stride wins,
+               ties to the smaller endpoint index. *)
+            let best_q = ref (-1) and best_t = ref no_via in
+            let best_d = ref d_cur and best_e = ref (-1) in
+            let record q t d e =
+              if d < !best_d || (d = !best_d && (!best_e < 0 || e < !best_e))
+              then begin
+                best_q := q;
+                best_t := t;
+                best_d := d;
+                best_e := e
+              end
+            in
+            Array.iter
+              (fun pr ->
+                let q = pr.p_node in
+                if usable q then record q no_via (d2 q dst) q)
+              v.v_peers;
+            Array.iter
+              (fun t ->
+                if t >= 0 && t < n && t <> cur && not (banned t) then begin
+                  let d = d2 t dst in
+                  if d < !best_d then
+                    if usable t && peer t then record t no_via d t
+                    else begin
+                      let b =
+                        best_peer (fun pr -> claims pr t) (fun q -> d2 q t)
+                      in
+                      if b >= 0 then record b t d t
+                    end
+                end)
+              v.v_far_heads;
+            if !best_q >= 0 then
+              Forward { next = !best_q; via = !best_t; advance = true }
+            else begin
+              (* Local minimum: one escape hop to the usable peer
+                 nearest the destination. The caller bans the forwarder,
+                 so an escape walk sheds a node per revisit attempt
+                 instead of orbiting until the TTL. *)
+              let q = best_peer (fun _ -> true) (fun q -> d2 q dst) in
+              if q >= 0 then
+                Forward { next = q; via = no_via; advance = false }
+              else Stall
+            end
+      end
+    end
+  end

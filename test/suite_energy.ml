@@ -16,7 +16,12 @@ let test_battery_basics () =
   Alcotest.(check bool) "dead" false (Energy.is_alive b);
   Alcotest.check_raises "capacity 0"
     (Invalid_argument "Energy.battery: capacity must be positive") (fun () ->
-      ignore (Energy.battery ~capacity:0.0))
+      ignore (Energy.battery ~capacity:0.0));
+  (* A negative drain would silently refund charge; the guard turns the
+     sign error into a loud failure at the call site. *)
+  Alcotest.check_raises "negative spend"
+    (Invalid_argument "Energy.spend: negative amount -2.5 (drains are positive)")
+    (fun () -> Energy.spend (Energy.battery ~capacity:10.0) (-2.5))
 
 let test_levels () =
   let b = Energy.battery ~capacity:100.0 in

@@ -16,6 +16,7 @@ let () =
       ("sparse", Suite_sparse.suite);
       ("flat", Suite_flat.suite);
       ("adversary", Suite_adversary.suite);
+      ("traffic", Suite_traffic.suite);
       ("monitor", Suite_monitor.suite);
       ("churn", Suite_churn.suite);
       ("mobility", Suite_mobility.suite);
