@@ -41,6 +41,35 @@ let sparse_arg =
   in
   Arg.(value & flag & info [ "sparse" ] ~doc)
 
+let cell_arg =
+  let doc =
+    "Replay mode (with $(b,--run)): re-execute exactly one sweep cell/run \
+     pair instead of the sweep — the command printed in the table's replay \
+     column — and exit non-zero iff the run is (still) anomalous."
+  in
+  Arg.(value & opt (some int) None & info [ "cell" ] ~docv:"CELL" ~doc)
+
+let run_index_arg =
+  let doc = "Replay mode (with $(b,--cell)): the run index to re-execute." in
+  Arg.(value & opt (some int) None & info [ "run" ] ~docv:"RUN" ~doc)
+
+(* Replay-mode plumbing shared by campaign/adversary: both --cell and
+   --run, or neither. *)
+let replay_request ~cmd cell run_index =
+  match (cell, run_index) with
+  | Some c, Some r -> Some (c, r)
+  | None, None -> None
+  | _ ->
+      Fmt.epr "repro %s: --cell and --run must be given together@." cmd;
+      exit 2
+
+let report_replay ~label verdict =
+  match verdict with
+  | Some reason ->
+      Fmt.pr "replay %s: ANOMALOUS — %s@." label reason;
+      exit 1
+  | None -> Fmt.pr "replay %s: clean@." label
+
 let output ~csv table =
   if csv then print_string (Table.to_csv table) else Table.print table
 
@@ -366,7 +395,7 @@ let campaign_cmd =
     in
     Arg.(value & flag & info [ "strict" ] ~doc)
   in
-  let run seed runs jobs sparse smoke strict csv =
+  let run seed runs jobs sparse smoke strict cell run_index csv =
     let grid, spec, runs, max_rounds =
       if smoke then
         ( E.Exp_campaign.smoke_grid,
@@ -375,11 +404,30 @@ let campaign_cmd =
           800 )
       else (E.Exp_campaign.default_grid, E.Exp_campaign.default_spec, runs, 1_500)
     in
+    (match replay_request ~cmd:"campaign" cell run_index with
+    | Some (cell, run) ->
+        let c, verdict =
+          E.Exp_campaign.replay ~seed ~sparse ~spec ~grid ~max_rounds ~cell
+            ~run ()
+        in
+        report_replay
+          ~label:
+            (Printf.sprintf "cell %d (%s) run %d" cell
+               (String.concat "/" (E.Exp_campaign.cell_label c))
+               run)
+          verdict;
+        exit 0
+    | None -> ());
     let rows =
       E.Exp_campaign.run ~seed ~runs ~domains:jobs ~sparse ~spec ~grid
         ~max_rounds ()
     in
-    output ~csv (E.Exp_campaign.to_table rows);
+    let replay_prefix =
+      Printf.sprintf "repro campaign --seed %d%s%s" seed
+        (if smoke then " --smoke" else "")
+        (if sparse then " --sparse" else "")
+    in
+    output ~csv (E.Exp_campaign.to_table ~replay_prefix rows);
     if not csv then begin
       let worst =
         List.fold_left
@@ -416,7 +464,7 @@ let campaign_cmd =
   Cmd.v (Cmd.info "campaign" ~doc)
     Term.(
       const run $ seed_arg $ runs_arg 4 $ jobs_arg $ sparse_arg $ smoke_arg
-      $ strict_arg $ csv_arg)
+      $ strict_arg $ cell_arg $ run_index_arg $ csv_arg)
 
 let adversary_cmd =
   let doc =
@@ -432,19 +480,47 @@ let adversary_cmd =
     in
     Arg.(value & flag & info [ "smoke" ] ~doc)
   in
-  let run seed runs jobs sparse smoke csv =
-    let rows =
+  let run seed runs jobs sparse smoke cell run_index csv =
+    let spec, behaviors, counts, channels, runs, max_rounds =
       if smoke then
-        E.Exp_adversary.run ~seed ~runs:1 ~domains:jobs ~sparse
-          ~spec:(E.Scenario.uniform ~count:30 ~radius:0.2 ())
-          ~behaviors:[ Ss_engine.Adversary.Stuck; Ss_engine.Adversary.Liar ]
-          ~counts:[ 2 ]
-          ~channels:
-            [ Ss_radio.Channel.perfect; E.Exp_campaign.default_bursty ]
-          ~max_rounds:400 ()
-      else E.Exp_adversary.run ~seed ~runs ~domains:jobs ~sparse ()
+        ( E.Scenario.uniform ~count:30 ~radius:0.2 (),
+          [ Ss_engine.Adversary.Stuck; Ss_engine.Adversary.Liar ],
+          [ 2 ],
+          [ Ss_radio.Channel.perfect; E.Exp_campaign.default_bursty ],
+          1,
+          400 )
+      else
+        ( E.Exp_adversary.default_spec,
+          Ss_engine.Adversary.behaviors,
+          E.Exp_adversary.default_counts,
+          E.Exp_adversary.default_channels,
+          runs,
+          800 )
     in
-    output ~csv (E.Exp_adversary.to_table rows);
+    (match replay_request ~cmd:"adversary" cell run_index with
+    | Some (cell, run) ->
+        let (behavior, count, channel), verdict =
+          E.Exp_adversary.replay ~seed ~sparse ~spec ~behaviors ~counts
+            ~channels ~max_rounds ~cell ~run ()
+        in
+        report_replay
+          ~label:
+            (Fmt.str "cell %d (%s/%d byz/%a) run %d" cell
+               (Ss_engine.Adversary.behavior_to_string behavior)
+               count Ss_radio.Channel.pp channel run)
+          verdict;
+        exit 0
+    | None -> ());
+    let rows =
+      E.Exp_adversary.run ~seed ~runs ~domains:jobs ~sparse ~spec ~behaviors
+        ~counts ~channels ~max_rounds ()
+    in
+    let replay_prefix =
+      Printf.sprintf "repro adversary --seed %d%s%s" seed
+        (if smoke then " --smoke" else "")
+        (if sparse then " --sparse" else "")
+    in
+    output ~csv (E.Exp_adversary.to_table ~replay_prefix rows);
     if not csv then
       Fmt.pr "worst-case containment radius: %d hops; uncontained runs: %d@."
         (List.fold_left
@@ -459,7 +535,7 @@ let adversary_cmd =
   Cmd.v (Cmd.info "adversary" ~doc)
     Term.(
       const run $ seed_arg $ runs_arg 5 $ jobs_arg $ sparse_arg $ smoke_arg
-      $ csv_arg)
+      $ cell_arg $ run_index_arg $ csv_arg)
 
 let traffic_cmd =
   let doc =
@@ -535,6 +611,39 @@ let traffic_cmd =
     Term.(
       const run $ seed_arg $ runs_arg 2 $ jobs_arg $ executor_arg $ rounds_arg
       $ window_arg $ csv_arg)
+
+let stabilization_cmd =
+  let doc =
+    "Extension: stabilization-round distributions with 95% bootstrap CIs \
+     across n (grid side 32..1000, i.e. ~1k..1M nodes on the flat \
+     executor) x density x {DAG names, adversarial flat ids} x channel \
+     loss; runs hitting the round cap are reported as censored. Lossy \
+     cells tally post-stabilization violations and time-between-violation \
+     distributions over a warm-started fixed horizon. Prints a per-curve \
+     flat-vs-growing verdict and exits non-zero unless every with-DAG \
+     perfect-channel curve is flat in n within CI overlap."
+  in
+  let smoke_arg =
+    let doc =
+      "Tiny sides (12, 24) at both densities and namings plus one lossy \
+       cell; seconds of runtime, used by CI to gate the flat-in-n claim."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let run seed jobs smoke csv =
+    let cells =
+      if smoke then E.Exp_stabilization.smoke_cells
+      else E.Exp_stabilization.default_cells
+    in
+    let ok = E.Exp_stabilization.print ~domains:jobs ~seed ~cells ~csv () in
+    if not ok then begin
+      Fmt.epr
+        "ERROR: a with-DAG curve is not flat in n within CI overlap@.";
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "stabilization" ~doc)
+    Term.(const run $ seed_arg $ jobs_arg $ smoke_arg $ csv_arg)
 
 let all_cmd =
   let doc = "Run every experiment with fast defaults." in
@@ -617,7 +726,8 @@ let commands =
     table1_cmd; table2_cmd; table3_cmd; table4_cmd; table5_cmd;
     figures_cmd; mobility_cmd; selfstab_cmd; compare_cmd; energy_cmd;
     hierarchy_cmd; bounds_cmd; links_cmd; churn_cmd; motion_cmd;
-    flat_cmd; campaign_cmd; adversary_cmd; traffic_cmd; all_cmd;
+    flat_cmd; campaign_cmd; adversary_cmd; traffic_cmd; stabilization_cmd;
+    all_cmd;
   ]
 
 let main_cmd =

@@ -1,0 +1,45 @@
+module Graph = Ss_topology.Graph
+module Traversal = Ss_topology.Traversal
+module Rng = Ss_prng.Rng
+module Vec2 = Ss_geom.Vec2
+
+let bfs_ids ?rng graph =
+  let n = Graph.node_count graph in
+  if n = 0 then [||]
+  else begin
+    let root = match rng with None -> 0 | Some rng -> Rng.int rng n in
+    let dist = Traversal.bfs_from graph root in
+    let order = Array.init n Fun.id in
+    (match rng with
+    | None -> ()
+    | Some rng ->
+        (* one uniform tag per node so each BFS layer comes out in an
+           independently shuffled order after the stable distance sort *)
+        let tag = Array.init n (fun _ -> Rng.unit rng) in
+        Array.sort (fun a b -> Float.compare tag.(a) tag.(b)) order);
+    (* stable: within a layer the pre-established (shuffled or index)
+       order survives; disconnected nodes (unreachable = max_int) sort
+       last and run their own islands *)
+    Array.stable_sort (fun a b -> Int.compare dist.(a) dist.(b)) order;
+    let ids = Array.make n 0 in
+    Array.iteri (fun rank node -> ids.(node) <- rank) order;
+    ids
+  end
+
+let sweep_ids graph =
+  let n = Graph.node_count graph in
+  let order = Array.init n Fun.id in
+  (match Graph.positions graph with
+  | None -> ()
+  | Some pos ->
+      Array.sort
+        (fun a b ->
+          let c = Float.compare pos.(a).Vec2.x pos.(b).Vec2.x in
+          if c <> 0 then c
+          else
+            let c = Float.compare pos.(a).Vec2.y pos.(b).Vec2.y in
+            if c <> 0 then c else Int.compare a b)
+        order);
+  let ids = Array.make n 0 in
+  Array.iteri (fun rank node -> ids.(node) <- rank) order;
+  ids

@@ -1,0 +1,32 @@
+(** Adversarial identifier assignments.
+
+    The paper's constant-expected-stabilization theorem leans on the name
+    DAG: election ties break on constant-height DAG names, so no belief
+    has to travel far before winning. Without the DAG the tie-break is the
+    global identifier, and an adversary who controls identifier placement
+    can make the winning belief start at one end of the network and crawl
+    across it — stabilization then grows with the hop diameter. These
+    generators build such worst-case placements for `repro stabilization`
+    and the differential batteries; they only permute identifiers, so
+    every structural property of the deployment is untouched.
+
+    All generators are deterministic given their inputs; randomized
+    variants take the generator explicitly and consume a bounded number of
+    draws. *)
+
+val bfs_ids : ?rng:Ss_prng.Rng.t -> Ss_topology.Graph.t -> int array
+(** Identifier permutation in BFS order from a root: the root gets id 0,
+    each successive BFS layer gets the next block of ids. Smallest-id-wins
+    election then roots the winning belief at one extremity, forcing it to
+    propagate one hop per round — stabilization tracks the root's
+    eccentricity. Without [rng] the root is node 0 and layers are ordered
+    by node index (fully deterministic); with [rng] the root is uniform
+    and each layer is shuffled (two structured draws), giving replicates
+    an honest spread of eccentricities. Result maps node to id. *)
+
+val sweep_ids : Ss_topology.Graph.t -> int array
+(** Identifier permutation in position-lexicographic order (x, then y, then
+    node index): ids sweep across the deployment left to right, the
+    geometric analogue of {!bfs_ids} for embedded graphs. Falls back to
+    node-index order when the graph carries no positions. Result maps node
+    to id. *)

@@ -58,7 +58,18 @@ type row = {
   converged : int;
   oscillating : int;
   failed : int;
+  bad : (int * string) list;  (* replay pointers: run index + reason *)
 }
+
+(* The sweep's cell order: behavior-major, channel-minor — shared with
+   {!replay} so --cell indices line up with the printed rows. *)
+let configs ~behaviors ~counts ~channels =
+  List.concat_map
+    (fun behavior ->
+      List.concat_map
+        (fun count -> List.map (fun ch -> (behavior, count, ch)) channels)
+        counts)
+    behaviors
 
 (* One run: converge-from-arbitrary-init with the adversary switching on
    at [from_round], the monitor projecting wrapped states back to honest
@@ -107,17 +118,39 @@ let run_one rng ~sparse ~spec ~max_rounds ~from_round ~horizon ~behavior
   let rep = Monitor.report monitor ~converged:result.EQ.converged in
   (rep.Monitor.classification, rep.Monitor.containment)
 
+type outcome =
+  | Run_ok of Monitor.classification * Monitor.containment option
+  | Run_failed of string
+
+let outcome_of_run rng ~sparse ~spec ~max_rounds ~from_round ~horizon
+    ~behavior ~count channel =
+  match
+    run_one rng ~sparse ~spec ~max_rounds ~from_round ~horizon ~behavior
+      ~count channel
+  with
+  | cls, containment -> Run_ok (cls, containment)
+  | exception e -> Run_failed (Printexc.to_string e)
+
+(* Anomaly verdict, shared by sweep aggregation and single-run replay:
+   raising or uncontained. Global convergence is not the bar under a
+   permanent adversary. *)
+let judge = function
+  | Run_failed reason -> Some reason
+  | Run_ok (_, containment) -> (
+      match containment with
+      | Some c when not c.Monitor.contained ->
+          Some
+            (Printf.sprintf "escaped (radius=%d, escapes=%d)"
+               c.Monitor.worst_radius c.Monitor.escaped_rounds)
+      | Some _ | None -> None)
+
 let run_config ?domains ~seed ~runs ~sparse ~spec ~max_rounds ~from_round
     ~horizon ~behavior ~count channel =
   let outcomes =
     Runner.replicate ?domains ~seed ~runs (fun ~run rng ->
         ignore run;
-        match
-          run_one rng ~sparse ~spec ~max_rounds ~from_round ~horizon
-            ~behavior ~count channel
-        with
-        | ok -> Some ok
-        | exception _ -> None)
+        outcome_of_run rng ~sparse ~spec ~max_rounds ~from_round ~horizon
+          ~behavior ~count channel)
   in
   let contained = ref 0 in
   let worst = ref 0 in
@@ -127,11 +160,12 @@ let run_config ?domains ~seed ~runs ~sparse ~spec ~max_rounds ~from_round
   let converged = ref 0 in
   let oscillating = ref 0 in
   let failed = ref 0 in
-  List.iter
-    (fun outcome ->
-      match outcome with
-      | None -> incr failed
-      | Some (cls, containment) -> (
+  let bad = ref [] in
+  List.iteri
+    (fun i outcome ->
+      (match outcome with
+      | Run_failed _ -> incr failed
+      | Run_ok (cls, containment) -> (
           (match cls with
           | Monitor.Converged -> incr converged
           | Monitor.Oscillating _ -> incr oscillating
@@ -148,7 +182,10 @@ let run_config ?domains ~seed ~runs ~sparse ~spec ~max_rounds ~from_round
                 match c.Monitor.time_to_containment with
                 | Some t -> Summary.add_int ttc t
                 | None -> ()
-              end))
+              end));
+      match judge outcome with
+      | Some reason -> bad := (i, reason) :: !bad
+      | None -> ())
     outcomes;
   {
     behavior;
@@ -163,6 +200,7 @@ let run_config ?domains ~seed ~runs ~sparse ~spec ~max_rounds ~from_round
     converged = !converged;
     oscillating = !oscillating;
     failed = !failed;
+    bad = List.rev !bad;
   }
 
 let run ?(seed = 42) ?(runs = 5) ?domains ?(sparse = false)
@@ -170,30 +208,47 @@ let run ?(seed = 42) ?(runs = 5) ?domains ?(sparse = false)
     ?(counts = default_counts) ?(channels = default_channels)
     ?(max_rounds = 800) ?(from_round = default_from_round)
     ?(horizon = Exp_campaign.default_horizon) () =
-  List.concat_map
-    (fun behavior ->
-      List.concat_map
-        (fun count ->
-          List.map
-            (run_config ?domains ~seed ~runs ~sparse ~spec ~max_rounds
-               ~from_round ~horizon ~behavior ~count)
-            channels)
-        counts)
-    behaviors
+  List.map
+    (fun (behavior, count, channel) ->
+      run_config ?domains ~seed ~runs ~sparse ~spec ~max_rounds ~from_round
+        ~horizon ~behavior ~count channel)
+    (configs ~behaviors ~counts ~channels)
 
-let to_table ?(title = "Adversary — containment per behavior/channel") rows =
+(* Single-(cell, run) re-execution; same stream argument as
+   {!Exp_campaign.replay}. *)
+let replay ?(seed = 42) ?(sparse = false) ?(spec = default_spec)
+    ?(behaviors = Adversary.behaviors) ?(counts = default_counts)
+    ?(channels = default_channels) ?(max_rounds = 800)
+    ?(from_round = default_from_round)
+    ?(horizon = Exp_campaign.default_horizon) ~cell:cell_index
+    ~run:run_index () =
+  let cs = configs ~behaviors ~counts ~channels in
+  if cell_index < 0 || cell_index >= List.length cs then
+    invalid_arg "Exp_adversary.replay: cell index outside the sweep";
+  if run_index < 0 then invalid_arg "Exp_adversary.replay: negative run index";
+  let ((behavior, count, channel) as config) = List.nth cs cell_index in
+  let rng = (Runner.streams ~seed ~runs:(run_index + 1)).(run_index) in
+  let outcome =
+    outcome_of_run rng ~sparse ~spec ~max_rounds ~from_round ~horizon
+      ~behavior ~count channel
+  in
+  (config, judge outcome)
+
+let to_table ?replay_prefix
+    ?(title = "Adversary — containment per behavior/channel") rows =
   let t =
     Table.create ~title
       ~header:
         [
           "behavior"; "byz"; "channel"; "contained"; "worst radius";
           "mean radius"; "mean ttc"; "escaped rds"; "conv"; "osc"; "failed";
+          "replay (anomalous runs)";
         ]
       ()
   in
   Table.add_rows t
-    (List.map
-       (fun r ->
+    (List.mapi
+       (fun cell_index r ->
          [
            Adversary.behavior_to_string r.behavior;
            Table.cell_int r.count;
@@ -206,6 +261,7 @@ let to_table ?(title = "Adversary — containment per behavior/channel") rows =
            Table.cell_int r.converged;
            Table.cell_int r.oscillating;
            Table.cell_int r.failed;
+           Exp_campaign.render_bad ~replay_prefix ~cell_index r.bad;
          ])
        rows)
 

@@ -28,6 +28,10 @@ type row = {
   converged : int;
   oscillating : int;  (** budget-exhausted runs with a periodic tail *)
   failed : int;  (** runs that raised *)
+  bad : (int * string) list;
+      (** replay pointers: anomalous run index (raising or uncontained —
+          global convergence is not the bar under a permanent adversary)
+          with the reason text *)
 }
 
 val default_spec : Scenario.spec
@@ -37,6 +41,14 @@ val default_counts : int list
 val default_channels : Ss_radio.Channel.t list
 (** perfect, bernoulli 0.8, asymmetric 0.5..1.0, and the campaign's
     Gilbert–Elliott bursty channel. *)
+
+val configs :
+  behaviors:Ss_engine.Adversary.behavior list ->
+  counts:int list ->
+  channels:Ss_radio.Channel.t list ->
+  (Ss_engine.Adversary.behavior * int * Ss_radio.Channel.t) list
+(** The sweep's cell order (behavior-major, channel-minor) — the
+    positional index {!replay} and the printed replay column use. *)
 
 val run :
   ?seed:int ->
@@ -56,7 +68,32 @@ val run :
     switches the engine to dirty-set execution with the wrapped warm
     hook; rows are bit-identical to the dense walk. *)
 
-val to_table : ?title:string -> row list -> Ss_stats.Table.t
+val replay :
+  ?seed:int ->
+  ?sparse:bool ->
+  ?spec:Scenario.spec ->
+  ?behaviors:Ss_engine.Adversary.behavior list ->
+  ?counts:int list ->
+  ?channels:Ss_radio.Channel.t list ->
+  ?max_rounds:int ->
+  ?from_round:int ->
+  ?horizon:int ->
+  cell:int ->
+  run:int ->
+  unit ->
+  (Ss_engine.Adversary.behavior * int * Ss_radio.Channel.t) * string option
+(** Re-execute exactly one (cell, run) of the sweep — [cell] indexes
+    {!configs}, [run] draws the [run]-th positional sub-stream of [seed]
+    ({!Runner.streams}; the one every cell's run [run] used, at any
+    [--jobs]) — and judge it exactly as the sweep would: [Some reason]
+    iff the run is anomalous, with the reason text the replay column
+    printed. Raises [Invalid_argument] outside the sweep. *)
+
+val to_table : ?replay_prefix:string -> ?title:string -> row list -> Ss_stats.Table.t
+(** With [replay_prefix] (e.g. ["repro adversary --seed 42"]) each
+    anomalous run renders as a complete copy-pasteable command:
+    [<prefix> --cell K --run I (reason)]. Rows must be in sweep order
+    (the cell index is positional). *)
 
 val print :
   ?seed:int ->

@@ -271,16 +271,44 @@ let run_one rng ~sparse ~spec ~max_rounds ~burst_round ~horizon cell =
       let rep = Monitor.report monitor ~converged:result.EQ.converged in
       success_of_report ~converged:result.EQ.converged rep
 
+let outcome_of_run rng ~sparse ~spec ~max_rounds ~burst_round ~horizon cell =
+  match run_one rng ~sparse ~spec ~max_rounds ~burst_round ~horizon cell with
+  | ok -> Run_ok ok
+  | exception e -> Run_failed (Printexc.to_string e)
+
+(* Anomaly verdict for one outcome — shared by sweep aggregation and
+   single-run replay so a replayed run is judged exactly like the sweep
+   judged it. *)
+let judge cell outcome =
+  match outcome with
+  | Run_failed reason -> Some reason
+  | Run_ok ok ->
+      if cell.c_byz <> None then
+        (* Under a permanent adversary, recovery-flavoured verdicts
+           (convergence, burst closure, post-recovery cleanliness) no
+           longer apply — Oscillators are *supposed* to keep the run
+           dirty forever. The strict-stabilization verdict is
+           containment: the clean region must end the run legitimate. *)
+        match ok.ok_containment with
+        | Some c when not c.Monitor.contained ->
+            Some
+              (Printf.sprintf "escaped (radius=%d, escapes=%d)"
+                 c.Monitor.worst_radius c.Monitor.escaped_rounds)
+        | Some _ | None -> None
+      else if not ok.ok_converged then
+        Some (Monitor.classification_label ok.ok_class)
+      else if ok.ok_unrecovered > 0 then Some "unrecovered burst"
+      else if ok.ok_post > 0 then
+        Some (Printf.sprintf "post-recovery violations=%d" ok.ok_post)
+      else None
+
 let run_cell ?domains ~seed ~runs ~sparse ~spec ~max_rounds ~burst_round
     ~horizon cell =
   let outcomes =
     Runner.replicate ?domains ~seed ~runs (fun ~run rng ->
         ignore run;
-        match
-          run_one rng ~sparse ~spec ~max_rounds ~burst_round ~horizon cell
-        with
-        | ok -> Run_ok ok
-        | exception e -> Run_failed (Printexc.to_string e))
+        outcome_of_run rng ~sparse ~spec ~max_rounds ~burst_round ~horizon
+          cell)
   in
   (* Aggregation replays the outcome list in run order (determinism
      contract: identical for any domain count). *)
@@ -296,13 +324,10 @@ let run_cell ?domains ~seed ~runs ~sparse ~spec ~max_rounds ~burst_round
   let radius = ref 0 in
   let uncontained = ref 0 in
   let bad = ref [] in
-  let byz = cell.c_byz <> None in
   List.iteri
     (fun i outcome ->
-      match outcome with
-      | Run_failed reason ->
-          incr failed;
-          bad := (i, reason) :: !bad
+      (match outcome with
+      | Run_failed _ -> incr failed
       | Run_ok ok -> (
           (match ok.ok_class with
           | Monitor.Converged -> incr converged
@@ -316,36 +341,15 @@ let run_cell ?domains ~seed ~runs ~sparse ~spec ~max_rounds ~burst_round
           unrecovered := !unrecovered + ok.ok_unrecovered;
           post := !post + ok.ok_post;
           if ok.ok_ghost_peak > !ghosts then ghosts := ok.ok_ghost_peak;
-          (match ok.ok_containment with
+          match ok.ok_containment with
           | None -> ()
           | Some c ->
               if c.Monitor.worst_radius > !radius then
                 radius := c.Monitor.worst_radius;
-              if not c.Monitor.contained then incr uncontained);
-          if byz then begin
-            (* Under a permanent adversary, recovery-flavoured verdicts
-               (convergence, burst closure, post-recovery cleanliness) no
-               longer apply — Oscillators are *supposed* to keep the run
-               dirty forever. The strict-stabilization verdict is
-               containment: the clean region must end the run legitimate. *)
-            match ok.ok_containment with
-            | Some c when not c.Monitor.contained ->
-                bad :=
-                  (i, Printf.sprintf "escaped (radius=%d, escapes=%d)"
-                        c.Monitor.worst_radius c.Monitor.escaped_rounds)
-                  :: !bad
-            | Some _ | None -> ()
-          end
-          else if
-            (not ok.ok_converged) || ok.ok_unrecovered > 0 || ok.ok_post > 0
-          then
-            let reason =
-              if not ok.ok_converged then
-                Monitor.classification_label ok.ok_class
-              else if ok.ok_unrecovered > 0 then "unrecovered burst"
-              else Printf.sprintf "post-recovery violations=%d" ok.ok_post
-            in
-            bad := (i, reason) :: !bad))
+              if not c.Monitor.contained then incr uncontained));
+      match judge cell outcome with
+      | Some reason -> bad := (i, reason) :: !bad
+      | None -> ())
     outcomes;
   {
     cell;
@@ -372,7 +376,41 @@ let run ?(seed = 42) ?(runs = 4) ?domains ?(sparse = false)
        ~horizon)
     (cells grid)
 
-let to_table ?(title = "Campaign — worst case per fault-grid cell") rows =
+(* Re-execute exactly one (cell, run) of the sweep. Every cell feeds the
+   same per-run positional sub-streams to its replicates, so run [i] of
+   any cell is the [i]-th stream of the base seed — the prefix property of
+   {!Runner.streams} makes this cheap and exact at any original --jobs. *)
+let replay ?(seed = 42) ?(sparse = false) ?(spec = default_spec)
+    ?(grid = default_grid) ?(max_rounds = 1_500)
+    ?(burst_round = default_burst_round) ?(horizon = default_horizon)
+    ~cell:cell_index ~run:run_index () =
+  let cs = cells grid in
+  if cell_index < 0 || cell_index >= List.length cs then
+    invalid_arg "Exp_campaign.replay: cell index outside the grid";
+  if run_index < 0 then invalid_arg "Exp_campaign.replay: negative run index";
+  let cell = List.nth cs cell_index in
+  let rng = (Runner.streams ~seed ~runs:(run_index + 1)).(run_index) in
+  let outcome =
+    outcome_of_run rng ~sparse ~spec ~max_rounds ~burst_round ~horizon cell
+  in
+  (cell, judge cell outcome)
+
+let render_bad ~replay_prefix ~cell_index bad =
+  match bad with
+  | [] -> "-"
+  | bad ->
+      String.concat "; "
+        (List.map
+           (fun (i, reason) ->
+             match replay_prefix with
+             | Some prefix ->
+                 Printf.sprintf "%s --cell %d --run %d (%s)" prefix
+                   cell_index i reason
+             | None -> Printf.sprintf "%d: %s" i reason)
+           bad)
+
+let to_table ?replay_prefix
+    ?(title = "Campaign — worst case per fault-grid cell") rows =
   let t =
     Table.create ~title
       ~header:
@@ -380,13 +418,13 @@ let to_table ?(title = "Campaign — worst case per fault-grid cell") rows =
           "corrupt"; "channel"; "crash/rd"; "scheduler"; "byz"; "conv";
           "osc"; "still"; "failed"; "mean dwell"; "max dwell"; "unrec";
           "post-viol"; "peak ghosts"; "radius";
-          "replay (seed-relative run: reason)";
+          "replay (anomalous runs)";
         ]
       ()
   in
   Table.add_rows t
-    (List.map
-       (fun r ->
+    (List.mapi
+       (fun cell_index r ->
          cell_label r.cell
          @ [
              Printf.sprintf "%d/%d" r.converged r.runs;
@@ -400,13 +438,7 @@ let to_table ?(title = "Campaign — worst case per fault-grid cell") rows =
              Table.cell_int r.peak_ghosts;
              (if r.cell.c_byz = None then "-"
               else Table.cell_int r.worst_radius);
-             (match r.bad with
-             | [] -> "-"
-             | bad ->
-                 String.concat "; "
-                   (List.map
-                      (fun (i, reason) -> Printf.sprintf "%d: %s" i reason)
-                      bad));
+             render_bad ~replay_prefix ~cell_index r.bad;
            ])
        rows)
 

@@ -118,10 +118,38 @@ val run :
     with the {!Ss_cluster.Distributed.pending_expiry} warm hook; rows are
     bit-identical to the dense walk, only faster on large grids. *)
 
-val to_table : ?title:string -> row list -> Ss_stats.Table.t
+val replay :
+  ?seed:int ->
+  ?sparse:bool ->
+  ?spec:Scenario.spec ->
+  ?grid:grid ->
+  ?max_rounds:int ->
+  ?burst_round:int ->
+  ?horizon:int ->
+  cell:int ->
+  run:int ->
+  unit ->
+  cell * string option
+(** Re-execute exactly one (cell, run) of the sweep — [cell] indexes
+    {!cells} of the grid, [run] draws the [run]-th positional sub-stream
+    of [seed] (the one every cell's run [run] used, at any [--jobs]) — and
+    judge it exactly as the sweep would: [Some reason] iff the run is
+    anomalous, with the same reason text the sweep's replay column
+    printed. Raises [Invalid_argument] outside the grid. *)
+
+val render_bad :
+  replay_prefix:string option -> cell_index:int -> (int * string) list -> string
+(** Render a row's replay pointers for the table: with a prefix, one
+    [<prefix> --cell K --run I (reason)] command per anomalous run;
+    without, the bare [I: reason] pairs. Shared with {!Exp_adversary}. *)
+
+val to_table : ?replay_prefix:string -> ?title:string -> row list -> Ss_stats.Table.t
 (** The worst-case table: per cell, convergence/classification counts, max
     violation dwell, post-recovery violations, and replay pointers for
-    every anomalous run. *)
+    every anomalous run. With [replay_prefix] (e.g. ["repro campaign
+    --seed 42 --smoke"]) each anomaly renders as a complete copy-pasteable
+    command: [<prefix> --cell K --run I (reason)]. Rows must be in sweep
+    order (the cell index is positional). *)
 
 val print :
   ?seed:int ->

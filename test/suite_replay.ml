@@ -1,0 +1,149 @@
+(* The replay-pointer contract: every anomalous run a sweep reports can
+   be re-executed in isolation — same seed, same cell index, same run
+   index — and the isolated run reproduces the sweep's verdict exactly
+   (same reason text). The contract rests on {!Runner}'s positional
+   sub-streams: run [i] of any cell draws stream [i] of the seed, at any
+   domain count, so a single-(cell, run) re-execution needs nothing from
+   the rest of the sweep.
+
+   Failures are injected deterministically, not mocked: a corruption
+   fraction of 1.5 makes [Churn.fraction_burst] raise at plan time
+   inside every campaign run, and a Byzantine count of -1 makes the
+   adversary sweep's [Array.sub] raise — both land in the graceful
+   Run_failed path the replay column points at. *)
+
+module Campaign = Ss_experiments.Exp_campaign
+module Adversary_exp = Ss_experiments.Exp_adversary
+module Scenario = Ss_experiments.Scenario
+module Channel = Ss_radio.Channel
+module Scheduler = Ss_engine.Scheduler
+module Adversary = Ss_engine.Adversary
+
+let spec = Scenario.uniform ~count:20 ~radius:0.3 ()
+
+let poison_grid =
+  {
+    Campaign.g_fractions = [ 1.5 ];
+    g_channels = [ Channel.perfect ];
+    g_crash = [ 0.0 ];
+    g_schedulers = [ Scheduler.Synchronous ];
+    g_byz = [ None ];
+  }
+
+let clean_grid = { poison_grid with Campaign.g_fractions = [ 0.25 ] }
+
+let test_campaign_failed_replay () =
+  let rows =
+    Campaign.run ~seed:5 ~runs:2 ~spec ~grid:poison_grid ~max_rounds:200 ()
+  in
+  let row = List.hd rows in
+  Alcotest.(check int) "both runs failed" 2 row.Campaign.failed;
+  Alcotest.(check int) "both runs listed as bad" 2
+    (List.length row.Campaign.bad);
+  List.iter
+    (fun (i, reason) ->
+      let _, verdict =
+        Campaign.replay ~seed:5 ~spec ~grid:poison_grid ~max_rounds:200
+          ~cell:0 ~run:i ()
+      in
+      Alcotest.(check (option string))
+        (Printf.sprintf "replay of run %d reproduces the sweep verdict" i)
+        (Some reason) verdict)
+    row.Campaign.bad
+
+let test_campaign_clean_replay () =
+  let rows =
+    Campaign.run ~seed:5 ~runs:1 ~spec ~grid:clean_grid ~max_rounds:600 ()
+  in
+  let row = List.hd rows in
+  Alcotest.(check (list (pair int string)))
+    "sweep reports no anomalies" [] row.Campaign.bad;
+  let _, verdict =
+    Campaign.replay ~seed:5 ~spec ~grid:clean_grid ~max_rounds:600 ~cell:0
+      ~run:0 ()
+  in
+  Alcotest.(check (option string)) "replay agrees the run is clean" None
+    verdict
+
+let test_campaign_replay_domain_independent () =
+  (* the bad list itself is positional, so it must not depend on how the
+     sweep was scheduled *)
+  let bad domains =
+    (List.hd
+       (Campaign.run ~domains ~seed:5 ~runs:2 ~spec ~grid:poison_grid
+          ~max_rounds:200 ()))
+      .Campaign.bad
+  in
+  Alcotest.(check (list (pair int string)))
+    "replay pointers identical at 1 vs 3 domains" (bad 1) (bad 3)
+
+let test_adversary_failed_replay () =
+  let behaviors = [ Adversary.Stuck ] in
+  let counts = [ -1 ] in
+  let channels = [ Channel.perfect ] in
+  let rows =
+    Adversary_exp.run ~seed:9 ~runs:2 ~spec ~behaviors ~counts ~channels
+      ~max_rounds:200 ()
+  in
+  let row = List.hd rows in
+  Alcotest.(check int) "both runs failed" 2 row.Adversary_exp.failed;
+  List.iter
+    (fun (i, reason) ->
+      let _, verdict =
+        Adversary_exp.replay ~seed:9 ~spec ~behaviors ~counts ~channels
+          ~max_rounds:200 ~cell:0 ~run:i ()
+      in
+      Alcotest.(check (option string))
+        (Printf.sprintf "replay of run %d reproduces the sweep verdict" i)
+        (Some reason) verdict)
+    row.Adversary_exp.bad
+
+let test_adversary_clean_replay () =
+  let behaviors = [ Adversary.Stuck ] in
+  let counts = [ 1 ] in
+  let channels = [ Channel.perfect ] in
+  let rows =
+    Adversary_exp.run ~seed:9 ~runs:1 ~spec ~behaviors ~counts ~channels
+      ~max_rounds:400 ()
+  in
+  Alcotest.(check (list (pair int string)))
+    "sweep reports no anomalies" [] (List.hd rows).Adversary_exp.bad;
+  let (behavior, count, channel), verdict =
+    Adversary_exp.replay ~seed:9 ~spec ~behaviors ~counts ~channels
+      ~max_rounds:400 ~cell:0 ~run:0 ()
+  in
+  Alcotest.(check string) "replay resolves the config" "stuck"
+    (Adversary.behavior_to_string behavior);
+  Alcotest.(check int) "count" 1 count;
+  Alcotest.(check bool) "channel" true (channel == Channel.perfect);
+  Alcotest.(check (option string)) "replay agrees the run is clean" None
+    verdict
+
+let test_replay_rejects_out_of_range () =
+  Alcotest.check_raises "cell outside the grid"
+    (Invalid_argument "Exp_campaign.replay: cell index outside the grid")
+    (fun () ->
+      ignore
+        (Campaign.replay ~seed:5 ~spec ~grid:clean_grid ~cell:99 ~run:0 ()));
+  Alcotest.check_raises "negative run index"
+    (Invalid_argument "Exp_adversary.replay: negative run index")
+    (fun () ->
+      ignore
+        (Adversary_exp.replay ~seed:9 ~spec ~behaviors:[ Adversary.Stuck ]
+           ~counts:[ 1 ] ~channels:[ Channel.perfect ] ~cell:0 ~run:(-1) ()))
+
+let suite =
+  [
+    Alcotest.test_case "campaign: failed runs replay to the same verdict"
+      `Quick test_campaign_failed_replay;
+    Alcotest.test_case "campaign: clean run replays clean" `Quick
+      test_campaign_clean_replay;
+    Alcotest.test_case "campaign: replay pointers domain-independent" `Quick
+      test_campaign_replay_domain_independent;
+    Alcotest.test_case "adversary: failed runs replay to the same verdict"
+      `Quick test_adversary_failed_replay;
+    Alcotest.test_case "adversary: clean run replays clean" `Quick
+      test_adversary_clean_replay;
+    Alcotest.test_case "replay rejects out-of-range indices" `Quick
+      test_replay_rejects_out_of_range;
+  ]

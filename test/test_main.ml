@@ -15,7 +15,9 @@ let () =
       ("engine", Suite_engine.suite);
       ("sparse", Suite_sparse.suite);
       ("flat", Suite_flat.suite);
+      ("stabilization", Suite_stabilization.suite);
       ("adversary", Suite_adversary.suite);
+      ("replay", Suite_replay.suite);
       ("traffic", Suite_traffic.suite);
       ("monitor", Suite_monitor.suite);
       ("churn", Suite_churn.suite);
